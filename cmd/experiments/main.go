@@ -1,0 +1,174 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation chapter (thesis ch. 4) plus the background-chapter artifacts
+// (Tables 2.1/2.2, Figs 2.10-2.13), writing one text report per experiment.
+//
+// Usage:
+//
+//	experiments [-run regex] [-out dir] [-seeds n] [-quick] [-list]
+//
+// Each report states what the paper shows, what this reproduction
+// measures, and the derived comparison (who wins, by what factor).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type experiment struct {
+	id    string // e.g. "fig4.13"
+	title string
+	run   func(ctx *runCtx, w io.Writer) error
+}
+
+// runCtx carries the harness-wide knobs into each experiment.
+type runCtx struct {
+	seeds []uint64
+	quick bool
+	// outDir, when not "-", also receives machine-readable CSV series next
+	// to the text reports (for plotting the figures).
+	outDir string
+}
+
+// writeCSV emits a plot-ready CSV next to the text reports; silently
+// skipped when writing to stdout.
+func (ctx *runCtx) writeCSV(name string, header []string, rows [][]float64) error {
+	if ctx.outDir == "" || ctx.outDir == "-" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(ctx.outDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, strings.Join(header, ","))
+	for _, row := range rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = strconv.FormatFloat(v, 'f', 4, 64)
+		}
+		fmt.Fprintln(f, strings.Join(parts, ","))
+	}
+	return nil
+}
+
+var registry []experiment
+
+func register(id, title string, run func(*runCtx, io.Writer) error) {
+	registry = append(registry, experiment{id: id, title: title, run: run})
+}
+
+func main() {
+	runPat := flag.String("run", ".", "regexp selecting experiment ids")
+	outDir := flag.String("out", "results", "output directory ('-' = stdout)")
+	nSeeds := flag.Int("seeds", 3, "seeds per measurement (multi-seed averaging, thesis §4.3)")
+	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+	procs := flag.Int("procs", 1, "experiments to run concurrently (each simulation is single-threaded and independent)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	sort.SliceStable(registry, func(i, j int) bool { return registry[i].id < registry[j].id })
+	if *list {
+		for _, e := range registry {
+			fmt.Printf("%-12s %s\n", e.id, e.title)
+		}
+		return
+	}
+	re, err := regexp.Compile(*runPat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -run pattern: %v\n", err)
+		os.Exit(2)
+	}
+	ctx := &runCtx{seeds: seedList(*nSeeds), quick: *quick, outDir: *outDir}
+	if *outDir != "-" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+	}
+	var selected []experiment
+	for _, e := range registry {
+		if re.MatchString(e.id) {
+			selected = append(selected, e)
+		}
+	}
+	if len(selected) == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments matched; use -list")
+		os.Exit(2)
+	}
+	workers := *procs
+	if workers < 1 || *outDir == "-" {
+		workers = 1 // stdout output must stay ordered
+	}
+	type outcome struct {
+		exp     experiment
+		err     error
+		elapsed float64
+	}
+	jobs := make(chan experiment)
+	results := make(chan outcome)
+	for wkr := 0; wkr < workers; wkr++ {
+		go func() {
+			for e := range jobs {
+				start := time.Now()
+				var w io.Writer = os.Stdout
+				var f *os.File
+				var err error
+				if *outDir != "-" {
+					f, err = os.Create(filepath.Join(*outDir, e.id+".txt"))
+					if err != nil {
+						results <- outcome{exp: e, err: err}
+						continue
+					}
+					w = f
+				}
+				fmt.Fprintf(w, "# %s — %s\n\n", e.id, e.title)
+				err = e.run(ctx, w)
+				if f != nil {
+					f.Close()
+				}
+				results <- outcome{exp: e, err: err, elapsed: time.Since(start).Seconds()}
+			}
+		}()
+	}
+	go func() {
+		for _, e := range selected {
+			jobs <- e
+		}
+		close(jobs)
+	}()
+	failed := 0
+	for range selected {
+		o := <-results
+		status := "ok"
+		if o.err != nil {
+			status = "FAILED: " + o.err.Error()
+			failed++
+		}
+		fmt.Printf("%-12s %-55s %8.2fs  %s\n", o.exp.id, o.exp.title, o.elapsed, status)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func seedList(n int) []uint64 {
+	out := make([]uint64, n)
+	x := uint64(0xC0FFEE)
+	for i := range out {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		out[i] = z ^ (z >> 31)
+	}
+	return out
+}

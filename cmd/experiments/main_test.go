@@ -1,0 +1,71 @@
+package main
+
+import (
+	"io"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Every registered experiment id must be unique and match the id grammar.
+func TestRegistrySanity(t *testing.T) {
+	idRe := regexp.MustCompile(`^(table|fig|abl)[0-9A-Za-z.]*$`)
+	seen := map[string]bool{}
+	if len(registry) < 40 {
+		t.Fatalf("registry has only %d experiments", len(registry))
+	}
+	for _, e := range registry {
+		if seen[e.id] {
+			t.Errorf("duplicate experiment id %q", e.id)
+		}
+		seen[e.id] = true
+		if !idRe.MatchString(e.id) {
+			t.Errorf("bad experiment id %q", e.id)
+		}
+		if e.title == "" || e.run == nil {
+			t.Errorf("experiment %q missing title or runner", e.id)
+		}
+	}
+}
+
+func TestSeedList(t *testing.T) {
+	a, b := seedList(4), seedList(4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("seedList not deterministic")
+		}
+	}
+	uniq := map[uint64]bool{}
+	for _, s := range a {
+		uniq[s] = true
+	}
+	if len(uniq) != 4 {
+		t.Fatal("seedList produced duplicates")
+	}
+}
+
+// Smoke: the cheap experiments run to completion in quick mode and write
+// non-trivial reports.
+func TestQuickExperimentsSmoke(t *testing.T) {
+	ctx := &runCtx{seeds: seedList(1), quick: true}
+	for _, id := range []string{"table4.1", "table2.1", "fig2.12", "fig4.08", "abl.maxpaths"} {
+		var found *experiment
+		for i := range registry {
+			if registry[i].id == id {
+				found = &registry[i]
+			}
+		}
+		if found == nil {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		var sb strings.Builder
+		if err := found.run(ctx, &sb); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(sb.String()) < 80 {
+			t.Fatalf("%s wrote a suspiciously short report: %q", id, sb.String())
+		}
+	}
+}
+
+var _ io.Writer = (*strings.Builder)(nil)

@@ -1,0 +1,326 @@
+// Command prdrbsim runs a single interconnection-network simulation from
+// the command line and prints the paper's metrics (global average latency,
+// per-router contention, throughput, and — for trace workloads —
+// execution time).
+//
+// Synthetic pattern run:
+//
+//	prdrbsim -topology ft-4-3 -policy pr-drb -pattern shuffle -rate 900 \
+//	         -bursts 8 -burst-len 250us -burst-gap 300us
+//
+// Application trace run:
+//
+//	prdrbsim -topology ft-4-3 -policy pr-drb -workload pop -iters 12
+//
+// Compare several policies in one invocation:
+//
+//	prdrbsim -policy deterministic,drb,pr-drb -pattern transpose -rate 900
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"prdrb"
+)
+
+func main() {
+	var (
+		topoSpec = flag.String("topology", "ft-4-3", "mesh-WxH, torus-WxH or ft-K-N")
+		policies = flag.String("policy", "pr-drb", "comma-separated policy list: deterministic,random,cyclic,adaptive,drb,pr-drb,fr-drb,pr-fr-drb")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		seeds    = flag.Int("seeds", 1, "number of seeds to average")
+
+		pattern  = flag.String("pattern", "", "synthetic pattern: shuffle|bitreversal|transpose|uniform")
+		rate     = flag.Float64("rate", 600, "injection rate per node, Mbps")
+		nodes    = flag.Int("nodes", 0, "communicating nodes for the pattern (0 = all)")
+		bursts   = flag.Int("bursts", 8, "number of bursts (0 = continuous for -duration)")
+		burstLen = flag.Duration("burst-len", 250*time.Microsecond, "burst length")
+		burstGap = flag.Duration("burst-gap", 300*time.Microsecond, "gap between bursts")
+		duration = flag.Duration("duration", 2*time.Millisecond, "injection window for continuous traffic")
+
+		workload = flag.String("workload", "", "application trace: "+strings.Join(prdrb.WorkloadNames(), "|"))
+		iters    = flag.Int("iters", 10, "workload iterations")
+
+		traceIn   = flag.String("trace", "", "replay a serialized trace file instead of -workload/-pattern")
+		traceOut  = flag.String("save-trace", "", "write the generated workload trace to this file and exit")
+		knowIn    = flag.String("knowledge", "", "preload a PR-DRB solution database (JSON) before the run")
+		knowOut   = flag.String("save-knowledge", "", "export the solution database after the run")
+		showMap   = flag.Bool("map", false, "print the latency surface map")
+		energy    = flag.Bool("energy", false, "print the link-energy report")
+		provision = flag.Bool("provision", false, "print the offline link-demand analysis for the workload")
+		verbose   = flag.Bool("v", false, "print controller statistics")
+	)
+	flag.Parse()
+
+	topo, err := parseTopology(*topoSpec)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Trace generation / persistence utilities.
+	var loadedTrace *prdrb.Trace
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fatal(err)
+		}
+		loadedTrace, err = prdrb.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *traceOut != "" {
+		if *workload == "" {
+			fatal(fmt.Errorf("-save-trace needs -workload"))
+		}
+		tr, err := prdrb.Workload(*workload, prdrb.WorkloadOptions{Iterations: *iters})
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := prdrb.WriteTrace(f, tr); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s: %d ranks, %d events\n", *traceOut, tr.Ranks, tr.TotalEvents())
+		return
+	}
+	if *provision {
+		tr := loadedTrace
+		if tr == nil {
+			if *workload == "" {
+				fatal(fmt.Errorf("-provision needs -workload or -trace"))
+			}
+			var err error
+			tr, err = prdrb.Workload(*workload, prdrb.WorkloadOptions{Iterations: *iters})
+			if err != nil {
+				fatal(err)
+			}
+		}
+		d, err := prdrb.AnalyzeDemand(topo, tr, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(d.Report(topo, 10))
+		return
+	}
+
+	haveWork := 0
+	for _, set := range []bool{*pattern != "", *workload != "", loadedTrace != nil} {
+		if set {
+			haveWork++
+		}
+	}
+	if haveWork != 1 {
+		fatal(fmt.Errorf("choose exactly one of -pattern, -workload or -trace"))
+	}
+
+	var knowledge *prdrb.Knowledge
+	if *knowIn != "" {
+		f, err := os.Open(*knowIn)
+		if err != nil {
+			fatal(err)
+		}
+		knowledge, err = prdrb.ReadKnowledge(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	for _, polName := range strings.Split(*policies, ",") {
+		policy := prdrb.Policy(strings.TrimSpace(polName))
+		var latencies, execs []float64
+		var last *prdrb.Sim
+		var lastRes prdrb.Results
+		for i := 0; i < *seeds; i++ {
+			s, res, exec, err := runOnce(topo, policy, *seed+uint64(i), runSpec{
+				pattern: *pattern, rate: *rate, nodes: *nodes,
+				bursts: *bursts, burstLen: prdrb.Time((*burstLen).Nanoseconds()),
+				burstGap: prdrb.Time((*burstGap).Nanoseconds()),
+				duration: prdrb.Time((*duration).Nanoseconds()),
+				workload: *workload, iters: *iters,
+				trace: loadedTrace, knowledge: knowledge,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			latencies = append(latencies, res.GlobalLatencyUs)
+			if exec > 0 {
+				execs = append(execs, exec.Micros())
+			}
+			last, lastRes = s, res
+		}
+		lat, latCI := summarize(latencies)
+		fmt.Printf("%-14s globalLatency=%8.2fus", policy, lat)
+		if *seeds > 1 {
+			fmt.Printf(" ±%5.2f", latCI)
+		}
+		fmt.Printf("  peak=%8.2fus@%-8s accepted=%.3f pkts=%d",
+			lastRes.PeakContentionUs, lastRes.PeakRouter, lastRes.AcceptedRatio, lastRes.DeliveredPkts)
+		if len(execs) > 0 {
+			e, _ := summarize(execs)
+			fmt.Printf(" exec=%10.1fus", e)
+		}
+		fmt.Println()
+		if *verbose {
+			st := lastRes.Stats
+			fmt.Printf("    paths opened/closed %d/%d, patterns saved %d, reused %d (x%d), watchdog %d, acks %d\n",
+				st.PathsOpened, st.PathsClosed, lastRes.SavedPatterns, st.PatternsReused,
+				st.ReuseApplications, st.WatchdogFirings, st.AcksSeen)
+		}
+		if *showMap && last != nil {
+			fmt.Print(last.Map().String())
+		}
+		if *energy && last != nil {
+			fmt.Println("   ", last.Energy(prdrb.DefaultEnergyModel()))
+		}
+		if *knowOut != "" && last != nil {
+			k := last.ExportKnowledge()
+			f, err := os.Create(*knowOut)
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := k.WriteTo(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+			fmt.Printf("    exported %d solutions to %s\n", k.Size(), *knowOut)
+		}
+	}
+}
+
+type runSpec struct {
+	pattern            string
+	rate               float64
+	nodes              int
+	bursts             int
+	burstLen, burstGap prdrb.Time
+	duration           prdrb.Time
+	workload           string
+	iters              int
+	trace              *prdrb.Trace
+	knowledge          *prdrb.Knowledge
+}
+
+func runOnce(topo prdrb.Topology, policy prdrb.Policy, seed uint64, spec runSpec) (*prdrb.Sim, prdrb.Results, prdrb.Time, error) {
+	exp := prdrb.Experiment{Topology: topo, Policy: policy, Seed: seed}
+	if spec.workload != "" || spec.trace != nil {
+		if cfg, ok := prdrb.TracePolicyConfig(policy); ok {
+			exp.DRB = &cfg
+		}
+	}
+	s, err := prdrb.NewSim(exp)
+	if err != nil {
+		return nil, prdrb.Results{}, 0, err
+	}
+	if spec.knowledge != nil {
+		if err := s.ImportKnowledge(spec.knowledge); err != nil {
+			return nil, prdrb.Results{}, 0, err
+		}
+	}
+	if spec.workload != "" || spec.trace != nil {
+		tr := spec.trace
+		if tr == nil {
+			tr, err = prdrb.Workload(spec.workload, prdrb.WorkloadOptions{Iterations: spec.iters})
+			if err != nil {
+				return nil, prdrb.Results{}, 0, err
+			}
+		}
+		rep, err := s.PlayTrace(tr, nil)
+		if err != nil {
+			return nil, prdrb.Results{}, 0, err
+		}
+		res := s.Execute(10 * prdrb.Second * prdrb.Time(1+spec.iters/10))
+		if err := rep.Err(); err != nil {
+			return nil, prdrb.Results{}, 0, err
+		}
+		return s, res, rep.ExecutionTime(), nil
+	}
+	if spec.bursts > 0 {
+		end, err := s.InstallBursts(prdrb.BurstSpec{
+			Pattern: spec.pattern, RateMbps: spec.rate,
+			Len: spec.burstLen, Gap: spec.burstGap,
+			Count: spec.bursts, PatternNodes: spec.nodes,
+		})
+		if err != nil {
+			return nil, prdrb.Results{}, 0, err
+		}
+		return s, s.Execute(end + prdrb.Second), 0, nil
+	}
+	if err := s.InstallPattern(prdrb.PatternSpec{
+		Pattern: spec.pattern, RateMbps: spec.rate,
+		Start: 0, End: spec.duration, PatternNodes: spec.nodes,
+	}); err != nil {
+		return nil, prdrb.Results{}, 0, err
+	}
+	return s, s.Execute(spec.duration + prdrb.Second), 0, nil
+}
+
+// parseTopology reads "mesh-8x8", "torus-4x4" or "ft-4-3".
+func parseTopology(spec string) (prdrb.Topology, error) {
+	switch {
+	case strings.HasPrefix(spec, "mesh-"), strings.HasPrefix(spec, "torus-"):
+		kind, dims, _ := strings.Cut(spec, "-")
+		ws, hs, ok := strings.Cut(dims, "x")
+		if !ok {
+			return nil, fmt.Errorf("want %s-WxH, got %q", kind, spec)
+		}
+		w, err1 := strconv.Atoi(ws)
+		h, err2 := strconv.Atoi(hs)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad dimensions in %q", spec)
+		}
+		if kind == "torus" {
+			return prdrb.Torus(w, h), nil
+		}
+		return prdrb.Mesh(w, h), nil
+	case strings.HasPrefix(spec, "ft-"):
+		parts := strings.Split(spec, "-")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("want ft-K-N, got %q", spec)
+		}
+		k, err1 := strconv.Atoi(parts[1])
+		n, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad arity/levels in %q", spec)
+		}
+		return prdrb.FatTree(k, n), nil
+	}
+	return nil, fmt.Errorf("unknown topology %q (mesh-WxH, torus-WxH, ft-K-N)", spec)
+}
+
+func summarize(xs []float64) (mean, ci float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - mean
+			ss += d * d
+		}
+		sd := math.Sqrt(ss / float64(len(xs)-1))
+		ci = 1.96 * sd / math.Sqrt(float64(len(xs)))
+	}
+	return mean, ci
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prdrbsim:", err)
+	os.Exit(1)
+}

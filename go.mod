@@ -1,0 +1,3 @@
+module prdrb
+
+go 1.22

@@ -1,0 +1,180 @@
+// Package core implements the paper's contribution: Distributed Routing
+// Balancing (DRB) and its predictive extension PR-DRB (thesis ch. 3), plus
+// the fast-response FR-DRB variant and the predictive layer on top of it
+// (§4.8.4).
+//
+// The controller lives at each source node (it implements
+// network.SourceController). It maintains a metapath — a set of multistep
+// paths (MSPs) — per destination, selects a path for every injected packet
+// from the Eq 3.6 probability density, digests returning ACKs into per-path
+// latency estimates and the Eq 3.4 metapath latency, and walks the
+// L/M/H-zone FSM of Figs 3.9/3.12: opening alternative paths under
+// congestion, closing them when traffic relaxes, and — in the predictive
+// variants — saving the winning path set keyed by the contending-flow
+// pattern so it can be re-applied at once when the pattern repeats
+// (§3.2.6-3.2.8).
+package core
+
+import (
+	"fmt"
+
+	"prdrb/internal/sim"
+)
+
+// Config are the DRB/PR-DRB policy knobs (§3.2.4 thresholds, §3.2.8
+// similarity, §4.8.4 watchdog).
+type Config struct {
+	// ThresholdLow / ThresholdHigh bound the working zone of the metapath
+	// latency L(MP) (Eq 3.4, Fig 3.9).
+	ThresholdLow  sim.Time
+	ThresholdHigh sim.Time
+	// MaxPaths caps the metapath size (the paper's fat-tree experiments use
+	// a maximum of 4 alternative paths, §4.6.3).
+	MaxPaths int
+	// Alpha is the EWMA weight for per-path latency updates from ACKs.
+	Alpha float64
+	// LatencyFloor avoids division blow-ups for uncongested paths in
+	// Eqs 3.4/3.6.
+	LatencyFloor sim.Time
+	// HopPenalty charges extra path length when weighting paths, so
+	// "shortest paths are selected" (§3.2.6). Expressed per extra hop
+	// relative to the direct path.
+	HopPenalty sim.Time
+	// OpenInterval is the minimum spacing between consecutive path openings
+	// for one destination: DRB opens "one path at a time and evaluates the
+	// effect" (§4.5.1).
+	OpenInterval sim.Time
+	// IdleReset relaxes a destination's metapath back to the direct path
+	// after this much time without injections — the burst-gap behaviour of
+	// Fig 3.1, where latency "decreases to a minimum" between communication
+	// phases and the path-closing procedures run. The predictive variants
+	// recover instantly from the solution database; plain DRB re-adapts
+	// from scratch, which is exactly the contrast the paper measures.
+	// 0 disables relaxation.
+	IdleReset sim.Time
+
+	// Predictive enables the PR- layer: the solution database, save on H->M
+	// and reuse on M->H (§3.2.6).
+	Predictive bool
+	// Similarity is the approximate-matching threshold for contending-flow
+	// patterns; the paper uses 80% (§3.2.8).
+	Similarity float64
+	// EvidenceWindow bounds how long a reported contending flow stays part
+	// of the current pattern.
+	EvidenceWindow sim.Time
+	// MaxSignature caps the flows kept in a pattern signature.
+	MaxSignature int
+
+	// Watchdog, when positive, enables the FR-DRB fast-response timer: a
+	// destination with outstanding packets and no ACK within this interval
+	// is treated as congested without waiting for notification (§4.8.4).
+	Watchdog sim.Time
+
+	// TrendHorizon, when positive, enables latency-trend prediction (the
+	// §5.2 extension): if the recent L(MP) history projects a
+	// ThresholdHigh crossing within this horizon, the M->H actions run
+	// early. 0 disables the predictor.
+	TrendHorizon sim.Time
+}
+
+// Validate reports the first inconsistency.
+func (c *Config) Validate() error {
+	switch {
+	case c.ThresholdLow <= 0 || c.ThresholdHigh <= c.ThresholdLow:
+		return fmt.Errorf("core: need 0 < ThresholdLow < ThresholdHigh, got %v/%v", c.ThresholdLow, c.ThresholdHigh)
+	case c.MaxPaths < 1:
+		return fmt.Errorf("core: MaxPaths must be >= 1")
+	case c.Alpha <= 0 || c.Alpha > 1:
+		return fmt.Errorf("core: Alpha %v outside (0,1]", c.Alpha)
+	case c.LatencyFloor <= 0:
+		return fmt.Errorf("core: LatencyFloor must be positive")
+	case c.Predictive && (c.Similarity <= 0 || c.Similarity > 1):
+		return fmt.Errorf("core: Similarity %v outside (0,1]", c.Similarity)
+	case c.Predictive && c.MaxSignature <= 0:
+		return fmt.Errorf("core: MaxSignature must be positive")
+	case c.Watchdog < 0:
+		return fmt.Errorf("core: negative watchdog")
+	case c.IdleReset < 0:
+		return fmt.Errorf("core: negative IdleReset")
+	case c.TrendHorizon < 0:
+		return fmt.Errorf("core: negative TrendHorizon")
+	}
+	return nil
+}
+
+// DRBConfig returns the plain DRB baseline configuration (Franco et al.):
+// gradual path expansion, no memory of past solutions.
+func DRBConfig() Config {
+	return Config{
+		ThresholdLow:   2 * sim.Microsecond,
+		ThresholdHigh:  10 * sim.Microsecond,
+		MaxPaths:       4,
+		Alpha:          0.3,
+		LatencyFloor:   500 * sim.Nanosecond,
+		HopPenalty:     2 * sim.Microsecond,
+		OpenInterval:   100 * sim.Microsecond,
+		IdleReset:      150 * sim.Microsecond,
+		Predictive:     false,
+		Similarity:     0.8,
+		EvidenceWindow: 300 * sim.Microsecond,
+		MaxSignature:   16,
+	}
+}
+
+// PRDRBConfig returns the paper's contribution: DRB plus the predictive
+// solution database.
+func PRDRBConfig() Config {
+	c := DRBConfig()
+	c.Predictive = true
+	return c
+}
+
+// FRDRBConfig returns the Fast-Response DRB variant: a watchdog timer opens
+// paths without waiting for ACK notification (§4.8.4).
+func FRDRBConfig() Config {
+	c := DRBConfig()
+	c.Watchdog = 60 * sim.Microsecond
+	return c
+}
+
+// PRFRDRBConfig layers the predictive module on FR-DRB, demonstrating the
+// policy's modularity over the DRB family (§4.8.4).
+func PRFRDRBConfig() Config {
+	c := FRDRBConfig()
+	c.Predictive = true
+	return c
+}
+
+// TuneForTraces adapts a configuration to fine-grained application-trace
+// traffic (§4.8): thresholds scale down to the trace latency regime
+// (halo exchanges sit at a few µs, not the tens of µs of saturated
+// synthetic bursts), the open interval shortens to react within a
+// communication phase, the metapath deepens, and idle relaxation is
+// disabled — a destination's inter-phase injection gap is far longer than
+// any sensible relax window, so relaxing would just discard every adapted
+// path between phases.
+func (c Config) TuneForTraces() Config {
+	c.ThresholdHigh = 2500 * sim.Nanosecond
+	c.ThresholdLow = 600 * sim.Nanosecond
+	c.OpenInterval = 10 * sim.Microsecond
+	c.IdleReset = 0
+	c.MaxPaths = 6
+	c.LatencyFloor = 200 * sim.Nanosecond
+	return c
+}
+
+// ConfigByName maps the experiment policy names to configurations:
+// "drb", "pr-drb", "fr-drb", "pr-fr-drb". ok is false for unknown names.
+func ConfigByName(name string) (Config, bool) {
+	switch name {
+	case "drb":
+		return DRBConfig(), true
+	case "pr-drb":
+		return PRDRBConfig(), true
+	case "fr-drb":
+		return FRDRBConfig(), true
+	case "pr-fr-drb":
+		return PRFRDRBConfig(), true
+	}
+	return Config{}, false
+}

@@ -1,0 +1,450 @@
+package core
+
+import (
+	"fmt"
+
+	"prdrb/internal/network"
+	"prdrb/internal/sim"
+	"prdrb/internal/topology"
+)
+
+// Stats counts the controller's decisions, matching the quantities the
+// paper reports per router/application (e.g. patterns found/repeated in
+// Figs 4.26b, §4.8.4).
+type Stats struct {
+	PathsOpened   int64
+	PathsClosed   int64
+	PatternsSaved int64
+	// PatternsReused counts distinct saved solutions that were re-applied
+	// at least once; ReuseApplications counts every application.
+	PatternsReused    int64
+	ReuseApplications int64
+	WatchdogFirings   int64
+	AcksSeen          int64
+	PredictiveAcks    int64
+	// TrendFirings counts early reactions triggered by the latency-trend
+	// predictor (§5.2 extension).
+	TrendFirings int64
+}
+
+// Add accumulates other into s (for fleet-wide aggregation).
+func (s *Stats) Add(other Stats) {
+	s.PathsOpened += other.PathsOpened
+	s.PathsClosed += other.PathsClosed
+	s.PatternsSaved += other.PatternsSaved
+	s.PatternsReused += other.PatternsReused
+	s.ReuseApplications += other.ReuseApplications
+	s.WatchdogFirings += other.WatchdogFirings
+	s.AcksSeen += other.AcksSeen
+	s.PredictiveAcks += other.PredictiveAcks
+	s.TrendFirings += other.TrendFirings
+}
+
+// Controller is the per-source-node DRB / PR-DRB engine. It implements
+// network.SourceController.
+type Controller struct {
+	Node topology.NodeID
+	Cfg  Config
+
+	topo topology.Topology
+	eng  *sim.Engine
+	rng  *sim.RNG
+
+	mps map[topology.NodeID]*metapath
+	db  *SolutionDB
+
+	Stats Stats
+}
+
+// New builds a controller for one source node. It panics on an invalid
+// configuration (a policy bug, not an input condition).
+func New(node topology.NodeID, topo topology.Topology, eng *sim.Engine, cfg Config, rng *sim.RNG) *Controller {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Controller{
+		Node: node,
+		Cfg:  cfg,
+		topo: topo,
+		eng:  eng,
+		rng:  rng,
+		mps:  make(map[topology.NodeID]*metapath),
+	}
+	if cfg.Predictive {
+		c.db = NewSolutionDB()
+	}
+	return c
+}
+
+// Name implements network.SourceController.
+func (c *Controller) Name() string {
+	switch {
+	case c.Cfg.Predictive && c.Cfg.Watchdog > 0:
+		return "pr-fr-drb"
+	case c.Cfg.Predictive:
+		return "pr-drb"
+	case c.Cfg.Watchdog > 0:
+		return "fr-drb"
+	default:
+		return "drb"
+	}
+}
+
+// DB exposes the solution database (nil for non-predictive variants).
+func (c *Controller) DB() *SolutionDB { return c.db }
+
+func (c *Controller) metapathFor(dst topology.NodeID) *metapath {
+	mp := c.mps[dst]
+	if mp == nil {
+		mp = newMetapath(dst, c.Cfg.LatencyFloor)
+		c.mps[dst] = mp
+	}
+	return mp
+}
+
+// PrepareInjection implements network.SourceController: multistep path
+// selection (Fig 3.11, Alg A.3). A destination idle beyond IdleReset first
+// relaxes back to the direct path (the inter-burst closing of Fig 3.1).
+func (c *Controller) PrepareInjection(e *sim.Engine, pkt *network.Packet) {
+	mp := c.metapathFor(pkt.Dst)
+	if c.Cfg.IdleReset > 0 && mp.lastInject != 0 && e.Now()-mp.lastInject > c.Cfg.IdleReset {
+		c.relax(mp)
+	}
+	mp.lastInject = e.Now()
+	p := mp.selectPath(&c.Cfg, c.rng)
+	pkt.Waypoints = append(topology.Path(nil), p.path...)
+	pkt.MSPIndex = p.id
+	mp.outstanding++
+	if c.Cfg.Watchdog > 0 {
+		if mp.watchdog == nil {
+			dst := pkt.Dst
+			mp.watchdog = sim.NewTimer(e, func(e *sim.Engine) { c.watchdogExpired(e, dst) })
+		}
+		if !mp.watchdog.Armed() {
+			mp.watchdog.Reset(c.Cfg.Watchdog)
+		}
+	}
+}
+
+// HandleAck implements network.SourceController: metapath configuration
+// (Fig 3.8, Alg A.2) driven by destination or router notifications.
+func (c *Controller) HandleAck(e *sim.Engine, ack *network.Packet) {
+	c.Stats.AcksSeen++
+	// ack.Src is the data flow's destination (the node that ACKed, or, for
+	// router-injected predictive ACKs, the contended flow's destination).
+	mp := c.metapathFor(ack.Src)
+
+	if ack.Predictive {
+		c.Stats.PredictiveAcks++
+	}
+	// Fold in contending-flow evidence (§3.2.7).
+	for _, f := range ack.Contending {
+		mp.flowSeen[f] = e.Now()
+	}
+
+	if ack.MSPIndex >= 0 {
+		mp.observe(&c.Cfg, ack.MSPIndex, ack.PathLatency)
+		if mp.outstanding > 0 {
+			mp.outstanding--
+		}
+		if mp.watchdog != nil {
+			if mp.outstanding > 0 {
+				mp.watchdog.Reset(c.Cfg.Watchdog)
+			} else {
+				mp.watchdog.Stop()
+			}
+		}
+		c.evaluate(e, mp)
+		c.observeTrend(e, mp)
+	} else if ack.Predictive {
+		// Router-based early notification (§3.4.1): no per-path latency,
+		// but an unambiguous congestion signal — force the H actions now.
+		c.enterHigh(e, mp)
+	}
+}
+
+// zoneOf classifies a metapath latency against the thresholds (Eq 3.5).
+func (c *Controller) zoneOf(latNs float64) Zone {
+	switch {
+	case latNs > float64(c.Cfg.ThresholdHigh):
+		return ZoneHigh
+	case latNs < float64(c.Cfg.ThresholdLow):
+		return ZoneLow
+	default:
+		return ZoneMedium
+	}
+}
+
+// evaluate advances the metapath-configuration FSM (Fig 3.12).
+func (c *Controller) evaluate(e *sim.Engine, mp *metapath) {
+	z := c.zoneOf(mp.latency(float64(c.Cfg.LatencyFloor)))
+	old := mp.zone
+	mp.zone = z
+	switch {
+	case z == ZoneHigh:
+		if old != ZoneHigh {
+			// M->H: congestion detected. Predictive variants first look for
+			// an already analyzed situation (§3.2.6).
+			if c.Cfg.Predictive && c.tryReuse(e, mp) {
+				return
+			}
+		}
+		c.maybeOpen(e, mp)
+	case old == ZoneHigh:
+		// H->M / H->L: good paths found; the predictive layer saves them.
+		if c.Cfg.Predictive {
+			c.saveSolution(e, mp)
+		}
+		if z == ZoneLow {
+			c.maybeClose(mp)
+		}
+	case z == ZoneLow && old != ZoneLow:
+		// M->L: the network absorbs the traffic; shrink the metapath.
+		c.maybeClose(mp)
+	case z == ZoneLow && len(mp.paths) > 1:
+		c.maybeClose(mp)
+	}
+}
+
+// enterHigh applies the M->H actions unconditionally (used by router-based
+// predictive ACKs and the FR-DRB watchdog, both of which signal congestion
+// without a metapath-latency sample).
+func (c *Controller) enterHigh(e *sim.Engine, mp *metapath) {
+	was := mp.zone
+	mp.zone = ZoneHigh
+	if was != ZoneHigh && c.Cfg.Predictive && c.tryReuse(e, mp) {
+		return
+	}
+	c.maybeOpen(e, mp)
+}
+
+// watchdogExpired is the FR-DRB fast response (§4.8.4): outstanding traffic
+// with no ACK within the window means the notification itself is stuck in
+// congestion; react immediately.
+func (c *Controller) watchdogExpired(e *sim.Engine, dst topology.NodeID) {
+	mp := c.metapathFor(dst)
+	if mp.outstanding == 0 {
+		return
+	}
+	c.Stats.WatchdogFirings++
+	c.enterHigh(e, mp)
+	mp.watchdog.Reset(c.Cfg.Watchdog)
+}
+
+// maybeOpen grows the metapath by one alternative path (§3.2.3), respecting
+// MaxPaths and the open-rate limit. The interval is jittered ±25% per
+// decision: at scale, hundreds of controllers otherwise react to the same
+// congestion signal in lockstep and thrash the load from one region to
+// another in synchronized waves.
+func (c *Controller) maybeOpen(e *sim.Engine, mp *metapath) {
+	if len(mp.paths) >= c.Cfg.MaxPaths {
+		return
+	}
+	if mp.lastOpen != 0 {
+		jittered := sim.Time(float64(c.Cfg.OpenInterval) * (0.75 + 0.5*c.rng.Float64()))
+		if e.Now()-mp.lastOpen < jittered {
+			return
+		}
+	}
+	if !mp.poolInit {
+		mp.pool = c.topo.AlternativePaths(c.Node, mp.dst, 2*c.Cfg.MaxPaths)
+		mp.poolInit = true
+	}
+	// Skip candidates already open.
+	for len(mp.pool) > 0 {
+		cand := mp.pool[0]
+		mp.pool = mp.pool[1:]
+		if mp.hasPath(cand) {
+			continue
+		}
+		direct := topology.PathLength(c.topo, c.Node, mp.dst, nil)
+		mp.paths = append(mp.paths, pathState{
+			id:        mp.nextPathID,
+			path:      cand,
+			latNs:     c.currentBest(mp), // optimistic: probe the new path
+			extraHops: topology.PathLength(c.topo, c.Node, mp.dst, cand) - direct,
+		})
+		mp.nextPathID++
+		mp.lastOpen = e.Now()
+		c.Stats.PathsOpened++
+		return
+	}
+}
+
+// currentBest returns the lowest path latency in the metapath, the
+// optimistic initial estimate for a newly opened path.
+func (c *Controller) currentBest(mp *metapath) float64 {
+	best := mp.paths[0].latNs
+	for i := range mp.paths {
+		if mp.paths[i].latNs < best {
+			best = mp.paths[i].latNs
+		}
+	}
+	return best
+}
+
+func (mp *metapath) hasPath(p topology.Path) bool {
+	for i := range mp.paths {
+		if mp.paths[i].path.Equal(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// relax closes every alternative path and forgets the transient latency
+// state: the metapath returns to the original single path, as after the
+// M->L closing procedures have fully run (Fig 3.9). The alternative-path
+// pool is regenerated so the next congestion can expand again.
+func (c *Controller) relax(mp *metapath) {
+	if n := len(mp.paths); n > 1 {
+		c.Stats.PathsClosed += int64(n - 1)
+	}
+	mp.paths = mp.paths[:1]
+	mp.paths[0].latNs = float64(c.Cfg.LatencyFloor)
+	mp.paths[0].acks = 0
+	mp.zone = ZoneLow
+	mp.pool = nil
+	mp.poolInit = false
+	mp.lastOpen = 0
+	mp.outstanding = 0
+	mp.trend = trendTracker{}
+}
+
+// maybeClose removes the worst-latency alternative path (never the direct
+// path), shrinking toward the original route as traffic relaxes.
+func (c *Controller) maybeClose(mp *metapath) {
+	if len(mp.paths) <= 1 {
+		return
+	}
+	worst, worstLat := -1, -1.0
+	for i := 1; i < len(mp.paths); i++ {
+		if mp.paths[i].latNs > worstLat {
+			worst, worstLat = i, mp.paths[i].latNs
+		}
+	}
+	mp.paths = append(mp.paths[:worst], mp.paths[worst+1:]...)
+	c.Stats.PathsClosed++
+}
+
+// evidence builds the current contending-flow signature for a destination
+// from reports within the evidence window.
+func (c *Controller) evidence(e *sim.Engine, mp *metapath) Signature {
+	var flows []network.FlowKey
+	for f, seen := range mp.flowSeen {
+		if e.Now()-seen <= c.Cfg.EvidenceWindow {
+			flows = append(flows, f)
+		} else {
+			delete(mp.flowSeen, f)
+		}
+	}
+	return NewSignature(flows, c.Cfg.MaxSignature)
+}
+
+// tryReuse looks up a saved solution for the current pattern and applies it
+// wholesale — "maximum path expansion is directly done" (§4.6.3). Reports
+// whether a solution was applied.
+func (c *Controller) tryReuse(e *sim.Engine, mp *metapath) bool {
+	sig := c.evidence(e, mp)
+	if len(sig) == 0 {
+		return false
+	}
+	sol := c.db.Lookup(int(mp.dst), sig, c.Cfg.Similarity)
+	if sol == nil {
+		return false
+	}
+	mp.restore(sol.paths)
+	mp.lastOpen = e.Now()
+	if sol.Hits == 0 {
+		c.Stats.PatternsReused++
+	}
+	sol.Hits++
+	c.Stats.ReuseApplications++
+	return true
+}
+
+// saveSolution records the path set that brought the metapath out of the
+// high zone, keyed by the contending pattern (§3.2.8, Fig 3.14).
+func (c *Controller) saveSolution(e *sim.Engine, mp *metapath) {
+	sig := c.evidence(e, mp)
+	if len(sig) == 0 {
+		return
+	}
+	if c.db.Save(int(mp.dst), sig, mp.snapshot(), c.Cfg.Similarity, e.Now()) != nil {
+		c.Stats.PatternsSaved++
+	}
+}
+
+// PathCount reports the current number of MSPs toward dst (1 = direct
+// only). Used by tests and the path-opening walkthrough example.
+func (c *Controller) PathCount(dst topology.NodeID) int {
+	if mp := c.mps[dst]; mp != nil {
+		return len(mp.paths)
+	}
+	return 1
+}
+
+// ZoneFor reports the current congestion zone toward dst.
+func (c *Controller) ZoneFor(dst topology.NodeID) Zone {
+	if mp := c.mps[dst]; mp != nil {
+		return mp.zone
+	}
+	return ZoneLow
+}
+
+// MetapathLatency reports L(MP) (Eq 3.4) toward dst in nanoseconds.
+func (c *Controller) MetapathLatency(dst topology.NodeID) float64 {
+	if mp := c.mps[dst]; mp != nil {
+		return mp.latency(float64(c.Cfg.LatencyFloor))
+	}
+	return float64(c.Cfg.LatencyFloor)
+}
+
+// Paths returns a copy of the current waypoint sets toward dst, direct
+// path first.
+func (c *Controller) Paths(dst topology.NodeID) []topology.Path {
+	mp := c.mps[dst]
+	if mp == nil {
+		return []topology.Path{nil}
+	}
+	out := make([]topology.Path, len(mp.paths))
+	for i := range mp.paths {
+		out[i] = append(topology.Path(nil), mp.paths[i].path...)
+	}
+	return out
+}
+
+// Install builds one controller per node over net, all sharing cfg, and
+// returns them. rngSeed derives per-node streams.
+func Install(net *network.Network, cfg Config, rngSeed uint64) []*Controller {
+	ctls := make([]*Controller, net.Topo.NumTerminals())
+	root := sim.NewRNG(rngSeed)
+	net.SetSourceController(func(node topology.NodeID) network.SourceController {
+		ctl := New(node, net.Topo, net.Eng, cfg, root.Split(uint64(node)+1))
+		ctls[node] = ctl
+		return ctl
+	})
+	return ctls
+}
+
+// AggregateStats sums the stats of a controller fleet.
+func AggregateStats(ctls []*Controller) Stats {
+	var s Stats
+	for _, c := range ctls {
+		if c != nil {
+			s.Add(c.Stats)
+		}
+	}
+	return s
+}
+
+var _ network.SourceController = (*Controller)(nil)
+
+func init() {
+	// Compile-time-ish sanity: the names must match ConfigByName.
+	for _, name := range []string{"drb", "pr-drb", "fr-drb", "pr-fr-drb"} {
+		if _, ok := ConfigByName(name); !ok {
+			panic(fmt.Sprintf("core: ConfigByName missing %q", name))
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"prdrb/internal/network"
+	"prdrb/internal/topology"
+)
+
+// Solution-database export/import — the "static variation" of thesis §5.2:
+// "PR-DRB routers could have offline meta-information about the
+// communication patterns... This information would help the routing module
+// to decide faster, notify sooner and apply best solutions smarter."
+//
+// A trained controller fleet serializes its saved solutions; a later run
+// of the same application preloads them, so the predictive module reacts
+// on the *first* occurrence of each pattern instead of learning during it.
+
+// exportPath is the JSON form of one multistep path.
+type exportPath struct {
+	Waypoints []int   `json:"waypoints"`
+	LatencyNs float64 `json:"latency_ns"`
+	ExtraHops int     `json:"extra_hops"`
+}
+
+// exportSolution is one saved pattern->paths entry.
+type exportSolution struct {
+	Dst   int          `json:"dst"`
+	Flows [][2]int     `json:"flows"` // [src, dst] pairs
+	Paths []exportPath `json:"paths"`
+	Hits  int64        `json:"hits"`
+}
+
+// exportNode is one source node's knowledge.
+type exportNode struct {
+	Node      int              `json:"node"`
+	Solutions []exportSolution `json:"solutions"`
+}
+
+// Knowledge is a serializable snapshot of a controller fleet's solution
+// databases.
+type Knowledge struct {
+	Nodes []exportNode `json:"nodes"`
+}
+
+// ExportKnowledge snapshots every predictive controller's database.
+func ExportKnowledge(ctls []*Controller) *Knowledge {
+	k := &Knowledge{}
+	for _, c := range ctls {
+		if c == nil || c.db == nil {
+			continue
+		}
+		en := exportNode{Node: int(c.Node)}
+		for dst, sols := range c.db.perDst {
+			for _, s := range sols {
+				es := exportSolution{Dst: dst, Hits: s.Hits}
+				for _, f := range s.Sig {
+					es.Flows = append(es.Flows, [2]int{int(f.Src), int(f.Dst)})
+				}
+				for _, p := range s.paths {
+					wp := make([]int, len(p.path))
+					for i, r := range p.path {
+						wp[i] = int(r)
+					}
+					es.Paths = append(es.Paths, exportPath{
+						Waypoints: wp, LatencyNs: p.latNs, ExtraHops: p.extraHops,
+					})
+				}
+				en.Solutions = append(en.Solutions, es)
+			}
+		}
+		if len(en.Solutions) > 0 {
+			k.Nodes = append(k.Nodes, en)
+		}
+	}
+	return k
+}
+
+// ImportKnowledge preloads databases into a fresh controller fleet. The
+// fleet must cover the node ids in the snapshot and be predictive.
+func ImportKnowledge(ctls []*Controller, k *Knowledge) error {
+	byNode := make(map[int]*Controller, len(ctls))
+	for _, c := range ctls {
+		if c != nil {
+			byNode[int(c.Node)] = c
+		}
+	}
+	for _, en := range k.Nodes {
+		c := byNode[en.Node]
+		if c == nil {
+			return fmt.Errorf("core: knowledge references unknown node %d", en.Node)
+		}
+		if c.db == nil {
+			return fmt.Errorf("core: node %d controller is not predictive", en.Node)
+		}
+		for _, es := range en.Solutions {
+			var flows []network.FlowKey
+			for _, f := range es.Flows {
+				flows = append(flows, network.FlowKey{Src: topology.NodeID(f[0]), Dst: topology.NodeID(f[1])})
+			}
+			sig := NewSignature(flows, c.Cfg.MaxSignature)
+			paths := make([]pathState, 0, len(es.Paths))
+			for i, p := range es.Paths {
+				wp := make(topology.Path, len(p.Waypoints))
+				for j, r := range p.Waypoints {
+					wp[j] = topology.RouterID(r)
+				}
+				paths = append(paths, pathState{
+					id: i, path: wp, latNs: p.LatencyNs, extraHops: p.ExtraHops,
+				})
+			}
+			c.db.Save(es.Dst, sig, paths, c.Cfg.Similarity, 0)
+		}
+	}
+	return nil
+}
+
+// WriteTo serializes the knowledge as indented JSON.
+func (k *Knowledge) WriteTo(w io.Writer) (int64, error) {
+	buf, err := json.MarshalIndent(k, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	buf = append(buf, '\n')
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// ReadKnowledge parses a snapshot written by WriteTo.
+func ReadKnowledge(r io.Reader) (*Knowledge, error) {
+	var k Knowledge
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&k); err != nil {
+		return nil, fmt.Errorf("core: bad knowledge snapshot: %w", err)
+	}
+	return &k, nil
+}
+
+// Size returns the number of solutions in the snapshot.
+func (k *Knowledge) Size() int {
+	n := 0
+	for _, en := range k.Nodes {
+		n += len(en.Solutions)
+	}
+	return n
+}

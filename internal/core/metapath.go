@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+
+	"prdrb/internal/network"
+	"prdrb/internal/sim"
+	"prdrb/internal/topology"
+)
+
+// Zone is the congestion zone of Eq 3.5 / Fig 3.9.
+type Zone uint8
+
+// Zones: low latency (paths can close), the normal working zone, and high
+// latency (congestion; paths must open).
+const (
+	ZoneLow Zone = iota
+	ZoneMedium
+	ZoneHigh
+)
+
+func (z Zone) String() string {
+	switch z {
+	case ZoneLow:
+		return "L"
+	case ZoneMedium:
+		return "M"
+	default:
+		return "H"
+	}
+}
+
+// pathState is one multistep path of a metapath with its estimated latency.
+type pathState struct {
+	id   int           // stable identifier carried in packets as MSPIndex
+	path topology.Path // waypoints; empty = the original path
+	// latNs is the EWMA of ACK-reported path latency in ns, floored.
+	latNs float64
+	// extraHops is the length excess over the direct path (Eq 3.2), charged
+	// via Config.HopPenalty during selection.
+	extraHops int
+	acks      int64
+}
+
+// metapath is the per-destination path set of §3.2.3 plus the predictive
+// evidence the PR- layer collects for it.
+type metapath struct {
+	dst   topology.NodeID
+	paths []pathState // index 0 is always the direct path
+	zone  Zone
+
+	nextPathID int
+	// pool holds the topology's alternative-path candidates not yet opened.
+	pool     []topology.Path
+	poolInit bool
+
+	lastOpen   sim.Time
+	lastInject sim.Time
+
+	// flowSeen timestamps the contending flows reported for this
+	// destination (the pattern evidence, §3.2.7).
+	flowSeen map[network.FlowKey]sim.Time
+
+	// outstanding data packets without ACK, for the FR-DRB watchdog.
+	outstanding int
+	watchdog    *sim.Timer
+
+	// trend holds the L(MP) history for the §5.2 trend predictor.
+	trend trendTracker
+}
+
+func newMetapath(dst topology.NodeID, floor sim.Time) *metapath {
+	return &metapath{
+		dst: dst,
+		paths: []pathState{{
+			id:    0,
+			path:  nil,
+			latNs: float64(floor),
+		}},
+		nextPathID: 1,
+		flowSeen:   make(map[network.FlowKey]sim.Time),
+	}
+}
+
+// latency returns the metapath latency L(MP) of Eq 3.4 in ns: the inverse
+// of the summed inverse path latencies (paths in parallel act as aggregated
+// capacity).
+func (mp *metapath) latency(floor float64) float64 {
+	inv := 0.0
+	for i := range mp.paths {
+		l := mp.paths[i].latNs
+		if l < floor {
+			l = floor
+		}
+		inv += 1 / l
+	}
+	if inv == 0 {
+		return floor
+	}
+	return 1 / inv
+}
+
+// weight is the selection weight of one path: inverse of its latency with
+// the length penalty applied (§3.2.6: lower latency and shorter paths are
+// preferred).
+func (p *pathState) weight(cfg *Config) float64 {
+	l := p.latNs + float64(p.extraHops)*float64(cfg.HopPenalty)
+	if l < float64(cfg.LatencyFloor) {
+		l = float64(cfg.LatencyFloor)
+	}
+	return 1 / l
+}
+
+// selectPath draws a path index from the Eq 3.6 probability density.
+func (mp *metapath) selectPath(cfg *Config, rng *sim.RNG) *pathState {
+	if len(mp.paths) == 1 {
+		return &mp.paths[0]
+	}
+	total := 0.0
+	for i := range mp.paths {
+		total += mp.paths[i].weight(cfg)
+	}
+	x := rng.Float64() * total
+	for i := range mp.paths {
+		x -= mp.paths[i].weight(cfg)
+		if x <= 0 {
+			return &mp.paths[i]
+		}
+	}
+	return &mp.paths[len(mp.paths)-1]
+}
+
+// byID finds a path by its stable identifier; nil if it has been closed.
+func (mp *metapath) byID(id int) *pathState {
+	for i := range mp.paths {
+		if mp.paths[i].id == id {
+			return &mp.paths[i]
+		}
+	}
+	return nil
+}
+
+// observe folds an ACK's path latency into the identified path (EWMA).
+func (mp *metapath) observe(cfg *Config, id int, lat sim.Time) {
+	p := mp.byID(id)
+	if p == nil {
+		return
+	}
+	sample := float64(lat)
+	if sample < float64(cfg.LatencyFloor) {
+		sample = float64(cfg.LatencyFloor)
+	}
+	if p.acks == 0 {
+		p.latNs = sample
+	} else {
+		p.latNs = cfg.Alpha*sample + (1-cfg.Alpha)*p.latNs
+	}
+	p.acks++
+}
+
+// snapshot deep-copies the current path set (a candidate "best solution",
+// Fig 3.14).
+func (mp *metapath) snapshot() []pathState {
+	out := make([]pathState, len(mp.paths))
+	copy(out, mp.paths)
+	for i := range out {
+		out[i].path = append(topology.Path(nil), out[i].path...)
+	}
+	return out
+}
+
+// restore replaces the path set with a saved solution, assigning fresh
+// stable IDs (old ACKs must not credit restored paths).
+func (mp *metapath) restore(saved []pathState) {
+	mp.paths = mp.paths[:0]
+	for _, p := range saved {
+		p.id = 0
+		if len(p.path) > 0 {
+			p.id = mp.nextPathID
+			mp.nextPathID++
+		}
+		p.acks = 0
+		p.path = append(topology.Path(nil), p.path...)
+		mp.paths = append(mp.paths, p)
+	}
+}
+
+func (mp *metapath) String() string {
+	return fmt.Sprintf("mp(dst=%d, %d paths, zone=%s)", mp.dst, len(mp.paths), mp.zone)
+}

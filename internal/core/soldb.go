@@ -1,0 +1,137 @@
+package core
+
+import (
+	"sort"
+
+	"prdrb/internal/network"
+	"prdrb/internal/sim"
+)
+
+// Signature is a normalized (sorted, deduplicated) contending-flow pattern
+// — the key of the saved-solutions database (§3.2.8).
+type Signature []network.FlowKey
+
+// NewSignature normalizes a flow set into a signature, capped at max flows.
+func NewSignature(flows []network.FlowKey, max int) Signature {
+	seen := make(map[network.FlowKey]bool, len(flows))
+	out := make(Signature, 0, len(flows))
+	for _, f := range flows {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// Similarity returns the Dice coefficient of two signatures:
+// 2|A∩B| / (|A|+|B|), in [0,1]. The paper requires >= 0.80 for a pattern to
+// count as "already analyzed" (§3.2.8 approximation matching).
+func Similarity(a, b Signature) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	set := make(map[network.FlowKey]bool, len(a))
+	for _, f := range a {
+		set[f] = true
+	}
+	common := 0
+	for _, f := range b {
+		if set[f] {
+			common++
+		}
+	}
+	return 2 * float64(common) / float64(len(a)+len(b))
+}
+
+// Solution is one saved congestion answer: the pattern that caused it and
+// the path set (with latency weights) that controlled it (Fig 3.14).
+type Solution struct {
+	Sig     Signature
+	paths   []pathState
+	Hits    int64 // times re-applied
+	Updates int64 // times refreshed by a better/later H->M transition
+	SavedAt sim.Time
+}
+
+// SolutionDB is a source node's memory of analyzed congestion situations,
+// scoped per destination (each metapath saves its own solutions).
+type SolutionDB struct {
+	perDst map[int][]*Solution
+	// MaxPerDst bounds memory; oldest entries are evicted.
+	MaxPerDst int
+}
+
+// NewSolutionDB returns an empty database.
+func NewSolutionDB() *SolutionDB {
+	return &SolutionDB{perDst: make(map[int][]*Solution), MaxPerDst: 32}
+}
+
+// Lookup returns the best-matching saved solution for dst whose signature
+// similarity meets minSim, preferring higher similarity then more hits.
+func (db *SolutionDB) Lookup(dst int, sig Signature, minSim float64) *Solution {
+	var best *Solution
+	bestSim := 0.0
+	for _, s := range db.perDst[dst] {
+		sim := Similarity(sig, s.Sig)
+		if sim < minSim {
+			continue
+		}
+		if best == nil || sim > bestSim || (sim == bestSim && s.Hits > best.Hits) {
+			best, bestSim = s, sim
+		}
+	}
+	return best
+}
+
+// Save stores (or refreshes) the solution for dst under sig. When an
+// existing entry matches sig at minSim it is updated in place — the paper's
+// "best solution saved may be further updated" (§3.2).
+func (db *SolutionDB) Save(dst int, sig Signature, paths []pathState, minSim float64, now sim.Time) *Solution {
+	if len(sig) == 0 {
+		return nil
+	}
+	if existing := db.Lookup(dst, sig, minSim); existing != nil {
+		existing.paths = paths
+		existing.Sig = sig
+		existing.Updates++
+		return existing
+	}
+	s := &Solution{Sig: sig, paths: paths, SavedAt: now}
+	lst := append(db.perDst[dst], s)
+	if len(lst) > db.MaxPerDst {
+		lst = lst[1:]
+	}
+	db.perDst[dst] = lst
+	return s
+}
+
+// Size returns the number of saved solutions across destinations.
+func (db *SolutionDB) Size() int {
+	n := 0
+	for _, lst := range db.perDst {
+		n += len(lst)
+	}
+	return n
+}
+
+// Patterns returns every stored solution (for reporting).
+func (db *SolutionDB) Patterns() []*Solution {
+	var out []*Solution
+	for _, lst := range db.perDst {
+		out = append(out, lst...)
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package core
+
+import "prdrb/internal/sim"
+
+// Latency-trend prediction — the first "further work" line of thesis §5.2:
+// "With enough historic latency values and traffic information, PR-DRB
+// could predict future congestion before it actually arises. This trend
+// analysis could greatly improve system performance."
+//
+// The predictor keeps a short ring of (time, L(MP)) samples per metapath
+// and fits a least-squares line. When the line projects L(MP) crossing
+// ThresholdHigh within TrendHorizon — while the zone is still M — the
+// controller runs its M->H actions early (solution reuse or path opening),
+// cutting the detection lag that both DRB and reactive PR-DRB share.
+
+// trendSample is one historic metapath-latency observation.
+type trendSample struct {
+	at  sim.Time
+	lat float64 // ns
+}
+
+// trendTracker is the per-metapath history ring.
+type trendTracker struct {
+	samples []trendSample
+	next    int
+	full    bool
+}
+
+const trendCapacity = 16
+
+func (tt *trendTracker) add(at sim.Time, lat float64) {
+	if cap(tt.samples) == 0 {
+		tt.samples = make([]trendSample, trendCapacity)
+	}
+	tt.samples[tt.next] = trendSample{at: at, lat: lat}
+	tt.next = (tt.next + 1) % trendCapacity
+	if tt.next == 0 {
+		tt.full = true
+	}
+}
+
+func (tt *trendTracker) count() int {
+	if tt.full {
+		return trendCapacity
+	}
+	return tt.next
+}
+
+// slope returns the least-squares dL/dt in ns-per-ns and the latest
+// latency; ok is false with fewer than 4 samples or a degenerate span.
+func (tt *trendTracker) slope() (slope, latest float64, ok bool) {
+	n := tt.count()
+	if n < 4 {
+		return 0, 0, false
+	}
+	// Center times to keep the arithmetic well-conditioned.
+	var sumT, sumL float64
+	var newest trendSample
+	for i := 0; i < n; i++ {
+		s := tt.samples[i]
+		sumT += float64(s.at)
+		sumL += s.lat
+		if s.at >= newest.at {
+			newest = s
+		}
+	}
+	meanT, meanL := sumT/float64(n), sumL/float64(n)
+	var sxx, sxy float64
+	for i := 0; i < n; i++ {
+		s := tt.samples[i]
+		dt := float64(s.at) - meanT
+		sxx += dt * dt
+		sxy += dt * (s.lat - meanL)
+	}
+	if sxx <= 0 {
+		return 0, 0, false
+	}
+	return sxy / sxx, newest.lat, true
+}
+
+// predictsCongestion reports whether the trend projects latency crossing
+// high within horizon ns.
+func (tt *trendTracker) predictsCongestion(high float64, horizon sim.Time) bool {
+	slope, latest, ok := tt.slope()
+	if !ok || slope <= 0 || latest >= high {
+		return false
+	}
+	// Time (ns) until the projected line reaches the threshold.
+	eta := (high - latest) / slope
+	return eta <= float64(horizon)
+}
+
+// observeTrend feeds the predictor after each ACK and fires the early
+// reaction when enabled.
+func (c *Controller) observeTrend(e *sim.Engine, mp *metapath) {
+	if c.Cfg.TrendHorizon <= 0 {
+		return
+	}
+	lat := mp.latency(float64(c.Cfg.LatencyFloor))
+	mp.trend.add(e.Now(), lat)
+	if mp.zone == ZoneHigh {
+		return // already reacting
+	}
+	if mp.trend.predictsCongestion(float64(c.Cfg.ThresholdHigh), c.Cfg.TrendHorizon) {
+		c.Stats.TrendFirings++
+		c.enterHigh(e, mp)
+	}
+}

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"prdrb/internal/sim"
+)
+
+// Histogram is a log-bucketed latency histogram: buckets grow by ~26% per
+// step (24 buckets per decade), giving quantile estimates within a few
+// percent over the ns..s range without storing samples. The paper reports
+// averages only; tail percentiles are the natural production extension —
+// congestion transients that barely move the mean dominate p99.
+type Histogram struct {
+	counts []int64
+	total  int64
+	min    sim.Time
+	max    sim.Time
+}
+
+const (
+	histBucketsPerDecade = 24
+	histDecades          = 10 // 1 ns .. 10 s
+	histBuckets          = histBucketsPerDecade*histDecades + 1
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]int64, histBuckets), min: math.MaxInt64}
+}
+
+func bucketOf(v sim.Time) int {
+	if v < 1 {
+		v = 1
+	}
+	b := int(math.Log10(float64(v)) * histBucketsPerDecade)
+	if b < 0 {
+		b = 0
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketLow returns the lower bound of bucket b in ns.
+func bucketLow(b int) float64 {
+	return math.Pow(10, float64(b)/histBucketsPerDecade)
+}
+
+// Observe records one latency.
+func (h *Histogram) Observe(v sim.Time) {
+	h.counts[bucketOf(v)]++
+	h.total++
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Quantile returns the q-quantile (0 <= q <= 1) in nanoseconds, estimated
+// at bucket granularity. It returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(h.min)
+	}
+	if q >= 1 {
+		return float64(h.max)
+	}
+	target := int64(q * float64(h.total))
+	if target >= h.total {
+		target = h.total - 1
+	}
+	var cum int64
+	for b, c := range h.counts {
+		cum += c
+		if cum > target {
+			// Midpoint of the bucket, clamped into the observed range.
+			v := (bucketLow(b) + bucketLow(b+1)) / 2
+			v = math.Max(v, float64(h.min))
+			v = math.Min(v, float64(h.max))
+			return v
+		}
+	}
+	return float64(h.max)
+}
+
+// String renders the standard percentile row in microseconds.
+func (h *Histogram) String() string {
+	if h.total == 0 {
+		return "histogram: empty"
+	}
+	return fmt.Sprintf("p50=%.2fus p90=%.2fus p99=%.2fus max=%.2fus (n=%d)",
+		h.Quantile(0.5)/1e3, h.Quantile(0.9)/1e3, h.Quantile(0.99)/1e3, float64(h.max)/1e3, h.total)
+}
+
+// RenderSurface draws a latency map as a W x H character grid (the textual
+// form of the paper's latency surface plots over a mesh, Figs 4.10/4.11):
+// each cell shows the router's average contention latency bucketed into
+// intensity glyphs, with a scale legend.
+func RenderSurface(c *Contention, w, h int, coord func(router int) (x, y int, ok bool)) string {
+	grid := make([][]float64, h)
+	for y := range grid {
+		grid[y] = make([]float64, w)
+	}
+	peak := 0.0
+	for r := range c.routers {
+		x, y, ok := coord(r)
+		if !ok || x < 0 || x >= w || y < 0 || y >= h {
+			continue
+		}
+		v := c.routers[r].Wait.Mean()
+		grid[y][x] = v
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak == 0 {
+		return "(no contention observed)\n"
+	}
+	shades := []byte(" .:-=+*#%@")
+	var sb strings.Builder
+	// Render with y growing downward-to-upward, matching plot orientation.
+	for y := h - 1; y >= 0; y-- {
+		fmt.Fprintf(&sb, "y=%d |", y)
+		for x := 0; x < w; x++ {
+			idx := int(grid[y][x] * float64(len(shades)-1) / peak)
+			sb.WriteByte(shades[idx])
+			sb.WriteByte(shades[idx]) // double width for aspect ratio
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "scale: ' '=0 .. '@'=%.2fus avg contention\n", peak/1e3)
+	return sb.String()
+}

@@ -1,0 +1,121 @@
+package network
+
+import (
+	"fmt"
+
+	"prdrb/internal/sim"
+)
+
+// NotifyMode selects where congestion notification originates (§3.2.2 vs
+// the §3.4 design alternative).
+type NotifyMode uint8
+
+const (
+	// DestinationBased: routers log contending flows into the data packet's
+	// predictive header; the destination copies them into the ACK (§3.2.2).
+	DestinationBased NotifyMode = iota
+	// RouterBased: congested routers inject predictive ACKs immediately
+	// (early detection & notification, §3.4.1); destinations then send
+	// latency-only ACKs (§3.4.2).
+	RouterBased
+)
+
+func (m NotifyMode) String() string {
+	if m == RouterBased {
+		return "router-based"
+	}
+	return "destination-based"
+}
+
+// Config carries the physical simulation parameters of Tables 4.2/4.3 plus
+// the monitoring knobs of the PR-DRB router (§3.3.2).
+type Config struct {
+	// LinkBandwidthBps is the per-link data rate (paper: 2 Gbps).
+	LinkBandwidthBps float64
+	// LinkDelay is the per-hop propagation delay.
+	LinkDelay sim.Time
+	// RoutingDelay is the router pipeline latency applied to each routing
+	// decision.
+	RoutingDelay sim.Time
+	// BufferBytes is the total output buffering per port (paper: 2 MB),
+	// split evenly across virtual channels.
+	BufferBytes int
+	// PacketBytes is the data packet payload+header size (paper: 1024 B).
+	PacketBytes int
+	// AckBytes is the ACK/notification packet size.
+	AckBytes int
+	// HeaderBytes sets the virtual cut-through forwarding granularity
+	// (§2.1.2): a router may start relaying a packet once the header has
+	// arrived, so per-hop latency is the header time — not the full packet
+	// serialization — while each link still carries the whole packet
+	// (bandwidth is conserved).
+	HeaderBytes int
+
+	// CongestionThreshold is the queue wait beyond which a router's CFD
+	// module records contending flows (§3.2.2: "a certain level of
+	// congestion").
+	CongestionThreshold sim.Time
+	// MaxContending is the predictive header capacity n (Fig 3.18).
+	MaxContending int
+	// ContendShare is the minimum share of queued packets a flow must hold
+	// to be reported as a top contributor (§3.2.7 notifies only flows that
+	// "contribute most to congestion").
+	ContendShare float64
+	// NotifyMode selects destination- or router-based notification.
+	NotifyMode NotifyMode
+	// RouterAckInterval rate-limits router-based predictive ACKs per output
+	// port ("the notification is performed only once per buffer's access").
+	RouterAckInterval sim.Time
+
+	// GenerateAcks enables destination ACKs. The DRB family requires them;
+	// oblivious baselines run without the ACK overhead.
+	GenerateAcks bool
+}
+
+// DefaultConfig returns the Table 4.2/4.3 parameter set.
+func DefaultConfig() Config {
+	return Config{
+		LinkBandwidthBps:    2e9,
+		LinkDelay:           20 * sim.Nanosecond,
+		RoutingDelay:        40 * sim.Nanosecond,
+		BufferBytes:         2 << 20,
+		PacketBytes:         1024,
+		AckBytes:            64,
+		HeaderBytes:         64,
+		CongestionThreshold: 8 * sim.Microsecond,
+		MaxContending:       8,
+		ContendShare:        0.10,
+		NotifyMode:          DestinationBased,
+		RouterAckInterval:   20 * sim.Microsecond,
+		GenerateAcks:        true,
+	}
+}
+
+// Validate reports the first configuration inconsistency.
+func (c *Config) Validate() error {
+	switch {
+	case c.LinkBandwidthBps <= 0:
+		return fmt.Errorf("network: non-positive link bandwidth %v", c.LinkBandwidthBps)
+	case c.PacketBytes <= 0:
+		return fmt.Errorf("network: non-positive packet size %d", c.PacketBytes)
+	case c.AckBytes <= 0:
+		return fmt.Errorf("network: non-positive ack size %d", c.AckBytes)
+	case c.BufferBytes < maxVCs*c.PacketBytes:
+		return fmt.Errorf("network: buffer %d B cannot hold one packet per VC", c.BufferBytes)
+	case c.LinkDelay < 0 || c.RoutingDelay < 0:
+		return fmt.Errorf("network: negative delays")
+	case c.HeaderBytes <= 0:
+		return fmt.Errorf("network: HeaderBytes must be positive")
+	case c.MaxContending <= 0:
+		return fmt.Errorf("network: MaxContending must be positive")
+	case c.ContendShare < 0 || c.ContendShare > 1:
+		return fmt.Errorf("network: ContendShare %v outside [0,1]", c.ContendShare)
+	}
+	return nil
+}
+
+// SerializationTime returns how long a packet of the given size occupies a
+// link: size * 8 / bandwidth.
+func (c *Config) SerializationTime(bytes int) sim.Time {
+	return sim.Time(float64(bytes) * 8 * 1e9 / c.LinkBandwidthBps)
+}

@@ -1,0 +1,265 @@
+package network
+
+import (
+	"fmt"
+
+	"prdrb/internal/metrics"
+	"prdrb/internal/sim"
+	"prdrb/internal/topology"
+)
+
+// Network wires a topology into routers, links and NICs and carries the
+// run-wide configuration, routing policy and metric collector.
+type Network struct {
+	Eng       *sim.Engine
+	Topo      topology.Topology
+	Cfg       Config
+	Policy    RouterPolicy
+	Collector *metrics.Collector
+
+	Routers []*Router
+	NICs    []*NIC
+
+	nextPktID uint64
+	nextMsgID uint64
+
+	// vcsPerClass is 2 when the topology has ring (wrap) links — dateline
+	// channel pairs — and 1 otherwise. numVC = numClasses * vcsPerClass.
+	vcsPerClass int
+	numVC       int
+
+	// PredictiveAcksSent counts router-originated notifications (GPA).
+	PredictiveAcksSent int64
+	// PredictiveAcksDropped counts notifications skipped for lack of
+	// buffer space.
+	PredictiveAcksDropped int64
+}
+
+// New builds the network. policy must not be nil; collector may be nil.
+func New(eng *sim.Engine, topo topology.Topology, cfg Config, policy RouterPolicy, collector *metrics.Collector) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("network: nil routing policy")
+	}
+	n := &Network{
+		Eng:       eng,
+		Topo:      topo,
+		Cfg:       cfg,
+		Policy:    policy,
+		Collector: collector,
+	}
+	// Dateline channel pairs are only needed on topologies with ring
+	// (wraparound) links.
+	n.vcsPerClass = 1
+	for r := topology.RouterID(0); int(r) < topo.NumRouters(); r++ {
+		for p := 0; p < topo.Radix(r); p++ {
+			if _, wrap := topo.LinkDim(r, p); wrap {
+				n.vcsPerClass = 2
+			}
+		}
+	}
+	n.numVC = numClasses * n.vcsPerClass
+
+	newPort := func(router topology.RouterID, port, capBytes int) *outPort {
+		return &outPort{
+			net:       n,
+			router:    router,
+			port:      port,
+			vcCap:     capBytes,
+			vcs:       make([]vcQueue, n.numVC),
+			parked:    make([][]parkedDelivery, n.numVC),
+			parkedOut: make([]bool, n.numVC),
+		}
+	}
+	// Routers and their output ports.
+	n.Routers = make([]*Router, topo.NumRouters())
+	for r := range n.Routers {
+		rt := &Router{ID: topology.RouterID(r), net: n}
+		rt.out = make([]*outPort, topo.Radix(rt.ID))
+		for p := range rt.out {
+			rt.out[p] = newPort(rt.ID, p, cfg.BufferBytes/n.numVC)
+			rt.out[p].linkDim, rt.out[p].linkWrap = topo.LinkDim(rt.ID, p)
+		}
+		n.Routers[r] = rt
+	}
+	// NICs.
+	n.NICs = make([]*NIC, topo.NumTerminals())
+	for t := range n.NICs {
+		nic := &NIC{
+			ID:    topology.NodeID(t),
+			net:   n,
+			reasm: make(map[uint64]*reassembly),
+		}
+		// Source queues are effectively unbounded: the offered load is
+		// the experiment input and the growing injection queue is how
+		// saturation shows up as latency (§4.2's open-loop sources).
+		nic.out = newPort(topology.None, 0, 1<<40)
+		nic.out.linkDim = -1
+		n.NICs[t] = nic
+	}
+	// Wire ports.
+	for r := range n.Routers {
+		rt := n.Routers[r]
+		for p := range rt.out {
+			peer := topo.PortPeer(rt.ID, p)
+			op := rt.out[p]
+			switch {
+			case peer.Unwired():
+				op.peer = nil
+			case peer.IsTerminal():
+				op.peer = n.NICs[peer.Terminal]
+				op.txExtra = cfg.LinkDelay
+			default:
+				op.peer = n.Routers[peer.Router]
+				op.txExtra = cfg.LinkDelay + cfg.RoutingDelay
+			}
+		}
+	}
+	for t := range n.NICs {
+		r, _ := topo.TerminalAttach(topology.NodeID(t))
+		n.NICs[t].out.peer = n.Routers[r]
+		n.NICs[t].out.txExtra = cfg.LinkDelay + cfg.RoutingDelay
+	}
+	return n, nil
+}
+
+// vcIndex maps (class, dateline) to a physical virtual channel.
+func (n *Network) vcIndex(class int, dateline bool) int {
+	vc := class * n.vcsPerClass
+	if dateline && n.vcsPerClass == 2 {
+		vc++
+	}
+	return vc
+}
+
+// isAckVC reports whether a physical VC belongs to the ACK class.
+func (n *Network) isAckVC(vc int) bool { return vc/n.vcsPerClass == ackClass }
+
+// prepareVC updates the packet's dateline state for the chosen output port
+// and returns the physical VC it must occupy there. The dateline bit
+// resets at every VC-class (MSP segment) boundary and at every routing
+// dimension change; it is set by outPort.deliver when the packet crosses a
+// ring's wrap link.
+func (n *Network) prepareVC(op *outPort, pkt *Packet) int {
+	c := pkt.class()
+	if c != pkt.lastClass {
+		pkt.lastClass = c
+		pkt.dateline = false
+		pkt.curDim = -99
+	}
+	if op.linkDim != pkt.curDim {
+		pkt.curDim = op.linkDim
+		pkt.dateline = false
+	}
+	return n.vcIndex(c, pkt.dateline)
+}
+
+// MustNew is New that panics on error, for tests and examples.
+func MustNew(eng *sim.Engine, topo topology.Topology, cfg Config, policy RouterPolicy, collector *metrics.Collector) *Network {
+	n, err := New(eng, topo, cfg, policy, collector)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// SetSourceController installs the same controller constructor on every
+// NIC. build receives the node and must return that node's controller (or
+// nil for direct injection).
+func (n *Network) SetSourceController(build func(node topology.NodeID) SourceController) {
+	for _, nic := range n.NICs {
+		nic.Source = build(nic.ID)
+	}
+}
+
+// SetPortMonitor attaches a PortMonitor to every router output port.
+func (n *Network) SetPortMonitor(m PortMonitor) {
+	for _, rt := range n.Routers {
+		for _, op := range rt.out {
+			op.monitor = m
+		}
+	}
+}
+
+// injectPredictiveAcks is the GPA module's network half (§3.3.2, §3.4.1):
+// originate one predictive ACK per contending flow, addressed to the flow's
+// source, carrying the full contending set and the reporting router.
+func (n *Network) injectPredictiveAcks(e *sim.Engine, from *outPort, flows []FlowKey, wait sim.Time) {
+	r := n.Routers[from.router]
+	for _, f := range flows {
+		ack := &Packet{
+			ID:           n.nextPktID,
+			Type:         AckPacket,
+			Src:          f.Dst, // lets the source attribute it to flow (f.Src -> f.Dst)
+			Dst:          f.Src,
+			SizeBytes:    n.Cfg.AckBytes,
+			CreatedAt:    e.Now(),
+			PathLatency:  wait,
+			MSPIndex:     -1,
+			Predictive:   true,
+			ReportRouter: from.router,
+			Contending:   flows,
+		}
+		n.nextPktID++
+		if r.injectAck(e, ack) {
+			n.PredictiveAcksSent++
+		} else {
+			n.PredictiveAcksDropped++
+		}
+	}
+}
+
+// Drain runs the engine until all queues empty or the horizon passes,
+// returning the number of events executed. Useful for closing out a run so
+// in-flight packets reach their sinks.
+func (n *Network) Drain(horizon sim.Time) uint64 {
+	return n.Eng.Run(horizon)
+}
+
+// LinkStat reports one output port's link occupancy over the run.
+type LinkStat struct {
+	Router topology.RouterID // owning router; -1 for a NIC injection link
+	Port   int
+	BusyNs sim.Time
+	Bytes  int64
+	// Wired reports whether the port has a peer at all.
+	Wired bool
+}
+
+// LinkStats snapshots every output port's occupancy (router ports first,
+// then the NIC injection ports), feeding the §5.2 energy/provisioning
+// analyses.
+func (n *Network) LinkStats() []LinkStat {
+	var out []LinkStat
+	for _, rt := range n.Routers {
+		for p, op := range rt.out {
+			out = append(out, LinkStat{
+				Router: rt.ID, Port: p, BusyNs: op.busyNs, Bytes: op.txBytes,
+				Wired: op.peer != nil,
+			})
+		}
+	}
+	for _, nic := range n.NICs {
+		out = append(out, LinkStat{
+			Router: topology.None, Port: int(nic.ID),
+			BusyNs: nic.out.busyNs, Bytes: nic.out.txBytes, Wired: true,
+		})
+	}
+	return out
+}
+
+// TotalQueuedBytes sums buffered bytes across all router ports — a global
+// congestion gauge used by tests.
+func (n *Network) TotalQueuedBytes() int {
+	total := 0
+	for _, rt := range n.Routers {
+		for _, op := range rt.out {
+			for vc := range op.vcs {
+				total += op.vcs[vc].bytes
+			}
+		}
+	}
+	return total
+}

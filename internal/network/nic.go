@@ -1,0 +1,185 @@
+package network
+
+import (
+	"prdrb/internal/sim"
+	"prdrb/internal/topology"
+)
+
+// SourceController is the per-node source logic slot where the DRB and
+// PR-DRB controllers plug in (§3.2: path selection at injection, metapath
+// configuration on ACK arrival). The zero controller (nil) injects every
+// packet on the direct path and ignores ACKs — the oblivious baselines.
+type SourceController interface {
+	// Name identifies the controller in reports.
+	Name() string
+	// PrepareInjection assigns the packet's multistep path (waypoints and
+	// MSP index) just before it enters the NIC queue (Fig 3.10).
+	PrepareInjection(e *sim.Engine, pkt *Packet)
+	// HandleAck processes a returning acknowledgement carrying path latency
+	// and, possibly, contending-flow information (Fig 3.17/3.18).
+	HandleAck(e *sim.Engine, ack *Packet)
+}
+
+// MessageHandler is invoked at the destination NIC when the final fragment
+// of a message arrives — the hook the MPI trace engine receives messages
+// through.
+type MessageHandler func(e *sim.Engine, src topology.NodeID, msgID uint64, bytes int, mpiType uint8, mpiSeq uint32)
+
+// NIC is the processing-node network interface of §4.1.1: the source FSM
+// (Fig 4.2) on the send side and the sink FSM (Fig 4.3) plus reassembly on
+// the receive side.
+type NIC struct {
+	ID  topology.NodeID
+	net *Network
+	out *outPort
+
+	// Source is the pluggable DRB/PR-DRB controller; nil means direct
+	// injection.
+	Source SourceController
+	// OnMessage, if set, is called when a complete message has arrived.
+	OnMessage MessageHandler
+	// OnAck, if set, observes every ACK arriving back at this node after
+	// the source controller has processed it (used by tests and the
+	// FR-DRB watchdog).
+	OnAck func(e *sim.Engine, ack *Packet)
+
+	reasm map[uint64]*reassembly // keyed by MsgID
+
+	// Delivered counts complete messages received.
+	Delivered int64
+}
+
+type reassembly struct {
+	got   int
+	total int
+	bytes int
+}
+
+// Send fragments a message of the given byte size into packets and injects
+// them. Zero-byte messages (pure synchronization) travel as one
+// minimum-size packet. It returns the message ID.
+func (n *NIC) Send(e *sim.Engine, dst topology.NodeID, bytes int, mpiType uint8, mpiSeq uint32) uint64 {
+	if dst == n.ID {
+		panic("network: self-send reached the NIC; loopback is the host's job")
+	}
+	cfg := &n.net.Cfg
+	msgID := n.net.nextMsgID
+	n.net.nextMsgID++
+	frags := (bytes + cfg.PacketBytes - 1) / cfg.PacketBytes
+	if frags == 0 {
+		frags = 1
+	}
+	remaining := bytes
+	for i := 0; i < frags; i++ {
+		size := cfg.PacketBytes
+		if remaining < size {
+			size = remaining
+		}
+		if size < cfg.AckBytes {
+			size = cfg.AckBytes // header floor
+		}
+		remaining -= cfg.PacketBytes
+		pkt := &Packet{
+			ID:        n.net.nextPktID,
+			Type:      DataPacket,
+			Src:       n.ID,
+			Dst:       dst,
+			SizeBytes: size,
+			CreatedAt: e.Now(),
+			Final:     i == frags-1,
+			MPIType:   mpiType,
+			MPISeq:    mpiSeq,
+			MsgID:     msgID,
+			FragIdx:   i,
+			FragCount: frags,
+		}
+		n.net.nextPktID++
+		if n.Source != nil {
+			n.Source.PrepareInjection(e, pkt)
+		}
+		if len(pkt.Waypoints) > maxWaypoints {
+			panic("network: source controller set more waypoints than the header carries")
+		}
+		pkt.InjectedAt = e.Now()
+		if n.net.Collector != nil {
+			n.net.Collector.PacketInjected(pkt.SizeBytes)
+		}
+		n.out.enqueue(e, pkt, n.net.prepareVC(n.out, pkt))
+	}
+	return msgID
+}
+
+// accept implements receiver: the sink FSM. Terminals always have space
+// (the paper's destination consumes at line rate, Fig 4.3).
+func (n *NIC) accept(e *sim.Engine, pkt *Packet, _ func(*sim.Engine)) bool {
+	switch pkt.Type {
+	case AckPacket:
+		if n.Source != nil {
+			n.Source.HandleAck(e, pkt)
+		}
+		if n.OnAck != nil {
+			n.OnAck(e, pkt)
+		}
+	case DataPacket:
+		if n.net.Collector != nil {
+			n.net.Collector.PacketDelivered(int(pkt.Dst), pkt.SizeBytes, e.Now()-pkt.CreatedAt, e.Now())
+		}
+		if n.net.Cfg.GenerateAcks {
+			n.sendAck(e, pkt)
+		}
+		n.reassemble(e, pkt)
+	}
+	return true
+}
+
+// sendAck builds the destination-based notification of §3.2.2 / Fig 3.17:
+// path latency plus, unless a router already notified (P bit, §3.4.2), the
+// contending flows logged into the packet's predictive header.
+func (n *NIC) sendAck(e *sim.Engine, pkt *Packet) {
+	ack := &Packet{
+		ID:          n.net.nextPktID,
+		Type:        AckPacket,
+		Src:         n.ID,
+		Dst:         pkt.Src,
+		SizeBytes:   n.net.Cfg.AckBytes,
+		CreatedAt:   e.Now(),
+		PathLatency: pkt.PathLatency,
+		MSPIndex:    pkt.MSPIndex,
+		MPIType:     pkt.MPIType,
+		MPISeq:      pkt.MPISeq,
+		MsgID:       pkt.MsgID,
+	}
+	n.net.nextPktID++
+	if !pkt.Predictive {
+		ack.ReportRouter = pkt.ReportRouter
+		ack.Contending = pkt.Contending
+	}
+	n.out.enqueue(e, ack, n.net.prepareVC(n.out, ack))
+}
+
+func (n *NIC) reassemble(e *sim.Engine, pkt *Packet) {
+	ra := n.reasm[pkt.MsgID]
+	if ra == nil {
+		ra = &reassembly{total: pkt.FragCount}
+		n.reasm[pkt.MsgID] = ra
+	}
+	ra.got++
+	ra.bytes += pkt.SizeBytes
+	if ra.got < ra.total {
+		return
+	}
+	delete(n.reasm, pkt.MsgID)
+	n.Delivered++
+	if n.OnMessage != nil {
+		n.OnMessage(e, pkt.Src, pkt.MsgID, ra.bytes, pkt.MPIType, pkt.MPISeq)
+	}
+}
+
+// QueuedBytes reports the NIC injection-queue occupancy (all VCs).
+func (n *NIC) QueuedBytes() int {
+	total := 0
+	for vc := range n.out.vcs {
+		total += n.out.vcs[vc].bytes
+	}
+	return total
+}

@@ -1,0 +1,171 @@
+// Package network models the physical network substrate of the paper's
+// evaluation (thesis §4.1): InfiniBand-style routers with output buffering
+// and virtual cut-through switching, credit/backpressure flow control,
+// round-robin arbitration, terminal NICs with source/sink state machines,
+// and the PR-DRB packet formats (§3.3.1). Routing policies and the DRB /
+// PR-DRB source controllers plug in through small interfaces, mirroring how
+// the paper implements its policy inside the OPNET router's routing unit.
+package network
+
+import (
+	"fmt"
+
+	"prdrb/internal/sim"
+	"prdrb/internal/topology"
+)
+
+// PacketType distinguishes the two wire formats of §3.3.1 (the T bit).
+type PacketType uint8
+
+// Packet types.
+const (
+	DataPacket PacketType = iota
+	AckPacket
+)
+
+func (t PacketType) String() string {
+	if t == AckPacket {
+		return "ACK"
+	}
+	return "DATA"
+}
+
+// FlowKey identifies a traffic flow by its source/destination pair — the
+// unit of the paper's contending-flows analysis (§3.2.7).
+type FlowKey struct {
+	Src, Dst topology.NodeID
+}
+
+func (f FlowKey) String() string { return fmt.Sprintf("%d->%d", f.Src, f.Dst) }
+
+// MPI call identifiers carried in the MPI_type header field (§3.3.1), used
+// by the trace engine to match packets with logical events.
+const (
+	MPINone uint8 = iota
+	MPISend
+	MPIIsend
+	MPIRecv
+	MPIIrecv
+	MPIWait
+	MPIWaitall
+	MPIBcast
+	MPIReduce
+	MPIAllreduce
+	MPIBarrier
+	MPISendrecv
+	MPIAlltoall
+)
+
+// Packet is the in-simulator representation of both wire formats of §3.3.1.
+// One Packet instance travels the whole network (no copying per hop); wire
+// encoding exists separately in wire.go for format fidelity and testing.
+type Packet struct {
+	ID   uint64
+	Type PacketType
+
+	Src, Dst topology.NodeID
+
+	// Waypoints are the MSP intermediate nodes (Fig 3.16: "Intermediate
+	// node 1/2" as router IDs); HeaderIdx is the Header_id field advanced
+	// by the HDP module at each reached waypoint.
+	Waypoints topology.Path
+	HeaderIdx int
+
+	// MSPIndex tells the source which of its metapath's MSPs this packet
+	// used, so the ACK can credit the right path (carried in the ACK).
+	MSPIndex int
+
+	SizeBytes int
+
+	// PathLatency is the accumulated contention latency of Eq 3.3: the sum
+	// of output-buffer queue waits along the path (Latency Update module).
+	PathLatency sim.Time
+
+	// CreatedAt is when the message was handed to the NIC; InjectedAt when
+	// the first bit left the NIC. End-to-end latency is measured from
+	// CreatedAt (§4.2: "since a packet is created until it reaches the
+	// destination").
+	CreatedAt  sim.Time
+	InjectedAt sim.Time
+
+	// Predictive (P), Final fragment (F) header bits.
+	Predictive bool
+	Final      bool
+
+	MPIType uint8
+	MPISeq  uint32
+
+	// Message fragmentation bookkeeping.
+	MsgID     uint64
+	FragIdx   int
+	FragCount int
+
+	// Predictive header (Fig 3.18), attached by a congested router's CFD
+	// module: the reporting router and the top contending flows.
+	ReportRouter topology.RouterID
+	Contending   []FlowKey
+
+	// enqueuedAt tracks entry into the current output buffer (not wire
+	// state; reset at every hop).
+	enqueuedAt sim.Time
+
+	// Virtual-channel state (not wire fields): the routing dimension of
+	// the last link taken, whether a dateline (torus wrap link) has been
+	// crossed in the current dimension, and the last VC class, used to
+	// reset the dateline bit at segment boundaries.
+	curDim    int
+	dateline  bool
+	lastClass int
+}
+
+// Flow returns the packet's flow key.
+func (p *Packet) Flow() FlowKey { return FlowKey{Src: p.Src, Dst: p.Dst} }
+
+// CurrentTarget returns the router the packet is currently steering toward
+// (its next waypoint), or false if it is in its final segment toward Dst.
+func (p *Packet) CurrentTarget() (topology.RouterID, bool) {
+	if p.HeaderIdx < len(p.Waypoints) {
+		return p.Waypoints[p.HeaderIdx], true
+	}
+	return 0, false
+}
+
+// advanceHeader implements the HDP module (§3.3.2): while the packet sits at
+// its current waypoint, bump Header_id to aim at the next segment target.
+func (p *Packet) advanceHeader(at topology.RouterID) {
+	for p.HeaderIdx < len(p.Waypoints) && p.Waypoints[p.HeaderIdx] == at {
+		p.HeaderIdx++
+	}
+}
+
+// class returns the packet's virtual-channel class: its current MSP
+// segment (each segment uses a separate escape channel, §3.2.8 — this is
+// what keeps multistep routing deadlock-free) or the dedicated ACK class
+// for notification traffic, so the request/reply dependency cannot
+// deadlock either.
+func (p *Packet) class() int {
+	if p.Type == AckPacket {
+		return ackClass
+	}
+	if p.HeaderIdx > maxWaypoints {
+		return maxWaypoints
+	}
+	return p.HeaderIdx
+}
+
+// maxWaypoints is the maximum number of intermediate nodes in an MSP; the
+// paper's format carries two (Fig 3.16).
+const maxWaypoints = 2
+
+// Virtual-channel classes per output port: one per MSP segment plus one
+// for ACKs. On topologies with ring (wraparound) links, every class is
+// split into a dateline pair — packets that crossed the wrap link of the
+// current dimension move to the high channel, the classical dateline
+// scheme that breaks ring dependency cycles.
+const (
+	numDataClasses = maxWaypoints + 1
+	ackClass       = numDataClasses
+	numClasses     = numDataClasses + 1
+	// maxVCs bounds the physical VC count (dateline pairs everywhere).
+	maxVCs = numClasses * 2
+)

@@ -1,0 +1,325 @@
+package network
+
+import (
+	"sort"
+
+	"prdrb/internal/sim"
+	"prdrb/internal/topology"
+)
+
+// receiver is the downstream end of a link. accept takes delivery of pkt;
+// if the receiver has no buffer space it returns false and guarantees to
+// call resume exactly once once the packet has been admitted, at which point
+// the sender may reuse the link. This models credit-based flow control
+// (§2.1.3): a full downstream buffer stalls the upstream port, so congestion
+// spreads backward exactly as in lossless fabrics.
+type receiver interface {
+	accept(e *sim.Engine, pkt *Packet, resume func(*sim.Engine)) bool
+}
+
+// parkedDelivery is an in-flight packet waiting for downstream buffer space.
+type parkedDelivery struct {
+	pkt    *Packet
+	resume func(*sim.Engine)
+}
+
+// vcQueue is one virtual channel's FIFO within an output port.
+type vcQueue struct {
+	q     []*Packet
+	bytes int
+}
+
+// outPort is an output port with per-VC buffering, round-robin VC
+// arbitration (Fig 4.6) and a single serializing link.
+type outPort struct {
+	net    *Network
+	router topology.RouterID // owning router, or -1 for a NIC port
+	port   int
+	peer   receiver
+	// txExtra is the fixed post-serialization delay: propagation plus, for
+	// router peers, the routing pipeline delay.
+	txExtra sim.Time
+
+	vcCap  int // capacity per VC in bytes
+	vcs    []vcQueue
+	parked [][]parkedDelivery
+	// parkedOut[vc] is true while a packet of this VC sits in the
+	// downstream input latch awaiting buffer admission: the VC is blocked
+	// (one credit per link and VC) but the physical link stays available
+	// to the other VCs — without this, one full VC would couple every
+	// class and void the per-segment deadlock freedom.
+	parkedOut []bool
+	rr        int // round-robin arbitration pointer
+	// linkDim / linkWrap classify the attached link for dateline VC
+	// assignment (topology.LinkDim of the wired port).
+	linkDim  int
+	linkWrap bool
+	busy     bool
+	// serEnd is when the in-flight packet's tail leaves the link; the port
+	// cannot start the next packet before it even if the downstream
+	// accepted the (cut-through) header earlier.
+	serEnd sim.Time
+
+	// lastRouterAck rate-limits router-based predictive notifications.
+	lastRouterAck sim.Time
+
+	// busyNs and txBytes account link occupancy for the energy/provision
+	// analyses (§5.2 open lines).
+	busyNs  sim.Time
+	txBytes int64
+	// monitor hooks into the DRB/PR-DRB machinery at this router's ports.
+	// Nil for baselines and NIC ports.
+	monitor PortMonitor
+}
+
+// PortMonitor receives the Latency Update / Contending Flows Detection
+// callbacks of the PR-DRB router (§3.3.2). Implementations live in
+// internal/core.
+type PortMonitor interface {
+	// PacketDeparting is called when a packet starts transmission after
+	// having waited `wait` in the port's buffers. queued lists the packets
+	// still occupying the port (the contending candidates).
+	PacketDeparting(e *sim.Engine, r topology.RouterID, pkt *Packet, wait sim.Time, queued []*Packet)
+}
+
+func (o *outPort) free(vc int) int { return o.vcCap - o.vcs[vc].bytes }
+
+// enqueue admits pkt into VC vc; the caller has verified space.
+func (o *outPort) enqueue(e *sim.Engine, pkt *Packet, vc int) {
+	pkt.enqueuedAt = e.Now()
+	o.vcs[vc].q = append(o.vcs[vc].q, pkt)
+	o.vcs[vc].bytes += pkt.SizeBytes
+	o.pump(e)
+}
+
+// pickVC round-robins over the non-empty virtual channels, skipping VCs
+// whose downstream latch is occupied (no credit).
+func (o *outPort) pickVC() int {
+	n := len(o.vcs)
+	for i := 0; i < n; i++ {
+		vc := (o.rr + i) % n
+		if len(o.vcs[vc].q) > 0 && !o.parkedOut[vc] {
+			o.rr = (vc + 1) % n
+			return vc
+		}
+	}
+	return -1
+}
+
+// pump starts transmitting the next queued packet if the link is idle.
+func (o *outPort) pump(e *sim.Engine) {
+	if o.busy {
+		return
+	}
+	vc := o.pickVC()
+	if vc < 0 {
+		return
+	}
+	q := &o.vcs[vc]
+	pkt := q.q[0]
+	copy(q.q, q.q[1:])
+	q.q = q.q[:len(q.q)-1]
+	q.bytes -= pkt.SizeBytes
+	o.busy = true
+
+	wait := e.Now() - pkt.enqueuedAt
+	if o.router >= 0 {
+		// Latency Update module (Eq 3.3): accumulate buffer wait into the
+		// packet and record the router's contention latency.
+		pkt.PathLatency += wait
+		if o.net.Collector != nil {
+			o.net.Collector.QueueWait(int(o.router), wait, e.Now())
+		}
+		o.monitorDeparture(e, pkt, wait)
+	}
+	// Space was freed: admit parked upstream deliveries.
+	o.admitParked(e)
+
+	// Virtual cut-through (§2.1.2): the downstream device sees the packet
+	// after just the header time, while this link stays occupied for the
+	// full serialization. Backpressure holds the VC, not the link: see
+	// deliver/creditReturned.
+	ser := o.net.Cfg.SerializationTime(pkt.SizeBytes)
+	cut := o.net.Cfg.SerializationTime(o.net.Cfg.HeaderBytes)
+	if cut > ser {
+		cut = ser
+	}
+	o.serEnd = e.Now() + ser
+	o.busyNs += ser
+	o.txBytes += int64(pkt.SizeBytes)
+	e.After(cut+o.txExtra, func(e *sim.Engine) { o.deliver(e, pkt, vc) })
+}
+
+// monitorDeparture drives CFD (§3.3.2) and any attached PortMonitor.
+func (o *outPort) monitorDeparture(e *sim.Engine, pkt *Packet, wait sim.Time) {
+	cfg := &o.net.Cfg
+	if wait > cfg.CongestionThreshold && pkt.Type == DataPacket {
+		flows := o.topContendingFlows(pkt)
+		if len(flows) > 0 {
+			switch cfg.NotifyMode {
+			case DestinationBased:
+				// Attach/merge the predictive header; the destination will
+				// copy it into the ACK (§3.2.2).
+				pkt.ReportRouter = o.router
+				pkt.Contending = mergeFlows(pkt.Contending, flows, cfg.MaxContending)
+			case RouterBased:
+				if e.Now()-o.lastRouterAck >= cfg.RouterAckInterval {
+					o.lastRouterAck = e.Now()
+					o.net.injectPredictiveAcks(e, o, flows, wait)
+				}
+				// P bit: tell the destination a predictive ACK was already
+				// sent, so it replies with a latency-only ACK (§3.4.2).
+				pkt.Predictive = true
+			}
+		}
+	}
+	if o.monitor != nil {
+		var queued []*Packet
+		for vc := range o.vcs {
+			if !o.net.isAckVC(vc) {
+				queued = append(queued, o.vcs[vc].q...)
+			}
+		}
+		o.monitor.PacketDeparting(e, o.router, pkt, wait, queued)
+	}
+}
+
+// topContendingFlows implements the §3.2.7 selection: rank the flows
+// currently occupying this port's buffers by byte share and keep those
+// above ContendShare, capped at MaxContending. The departing packet's own
+// flow is included — it is, by definition, contending here.
+func (o *outPort) topContendingFlows(departing *Packet) []FlowKey {
+	counts := map[FlowKey]int{departing.Flow(): departing.SizeBytes}
+	total := departing.SizeBytes
+	for vc := range o.vcs {
+		if o.net.isAckVC(vc) {
+			continue
+		}
+		for _, p := range o.vcs[vc].q {
+			counts[p.Flow()] += p.SizeBytes
+			total += p.SizeBytes
+		}
+	}
+	if len(counts) < 2 {
+		// A single flow is not "contention between flows"; still useful to
+		// report so the source can identify self-induced congestion.
+		// The paper's examples always involve >= 2 flows; keep singletons.
+	}
+	type fc struct {
+		f FlowKey
+		b int
+	}
+	ranked := make([]fc, 0, len(counts))
+	for f, b := range counts {
+		if float64(b) >= o.net.Cfg.ContendShare*float64(total) {
+			ranked = append(ranked, fc{f, b})
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].b != ranked[j].b {
+			return ranked[i].b > ranked[j].b
+		}
+		if ranked[i].f.Src != ranked[j].f.Src {
+			return ranked[i].f.Src < ranked[j].f.Src
+		}
+		return ranked[i].f.Dst < ranked[j].f.Dst
+	})
+	if len(ranked) > o.net.Cfg.MaxContending {
+		ranked = ranked[:o.net.Cfg.MaxContending]
+	}
+	out := make([]FlowKey, len(ranked))
+	for i, r := range ranked {
+		out[i] = r.f
+	}
+	return out
+}
+
+// mergeFlows merges new flows into an existing predictive header, keeping
+// order and the capacity cap.
+func mergeFlows(have, add []FlowKey, max int) []FlowKey {
+	seen := make(map[FlowKey]bool, len(have))
+	for _, f := range have {
+		seen[f] = true
+	}
+	for _, f := range add {
+		if len(have) >= max {
+			break
+		}
+		if !seen[f] {
+			seen[f] = true
+			have = append(have, f)
+		}
+	}
+	return have
+}
+
+// deliver hands the packet to the downstream receiver. On refusal the
+// packet stays in the downstream input latch: the VC loses its credit
+// (parkedOut) but the link itself frees at serialization end, so other
+// virtual channels keep flowing.
+func (o *outPort) deliver(e *sim.Engine, pkt *Packet, vc int) {
+	if o.peer == nil {
+		panic("network: delivery on unwired port")
+	}
+	if o.linkWrap {
+		// The packet just crossed this ring's dateline: it continues on
+		// the high virtual channel of its class within this dimension.
+		pkt.dateline = true
+	}
+	if !o.peer.accept(e, pkt, func(e *sim.Engine) { o.creditReturned(e, vc) }) {
+		o.parkedOut[vc] = true
+	}
+	o.freeLink(e)
+}
+
+// creditReturned runs when the downstream admits a previously parked
+// packet: the VC's credit comes back.
+func (o *outPort) creditReturned(e *sim.Engine, vc int) {
+	o.parkedOut[vc] = false
+	o.pump(e)
+}
+
+// freeLink releases the physical link once the packet's tail has left it.
+func (o *outPort) freeLink(e *sim.Engine) {
+	if e.Now() < o.serEnd {
+		end := o.serEnd
+		e.Schedule(end, func(e *sim.Engine) {
+			if o.serEnd == end { // not superseded
+				o.busy = false
+				o.pump(e)
+			}
+		})
+		return
+	}
+	o.busy = false
+	o.pump(e)
+}
+
+// admitParked moves waiting upstream deliveries into freed buffer space,
+// fairly across VCs, and resumes their senders.
+func (o *outPort) admitParked(e *sim.Engine) {
+	for vc := range o.vcs {
+		for len(o.parked[vc]) > 0 && o.free(vc) >= o.parked[vc][0].pkt.SizeBytes {
+			pd := o.parked[vc][0]
+			copy(o.parked[vc], o.parked[vc][1:])
+			o.parked[vc] = o.parked[vc][:len(o.parked[vc])-1]
+			o.enqueue(e, pd.pkt, vc)
+			// Resume the sender via a fresh event to bound recursion depth.
+			resume := pd.resume
+			e.After(0, resume)
+		}
+	}
+}
+
+// load returns the total queued bytes (a congestion signal for adaptive
+// routing policies), including a nominal in-flight packet when busy.
+func (o *outPort) load() int {
+	total := 0
+	for vc := range o.vcs {
+		total += o.vcs[vc].bytes
+	}
+	if o.busy {
+		total += o.net.Cfg.PacketBytes
+	}
+	return total
+}

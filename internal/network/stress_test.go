@@ -1,0 +1,219 @@
+package network
+
+import (
+	"testing"
+
+	"prdrb/internal/metrics"
+	"prdrb/internal/sim"
+	"prdrb/internal/topology"
+)
+
+// minimalBuffers returns a config where every VC holds exactly one packet
+// — maximum backpressure, the regime where a flow-control bug deadlocks
+// the simulation instead of just slowing it.
+func minimalBuffers() Config {
+	cfg := DefaultConfig()
+	cfg.BufferBytes = maxVCs * cfg.PacketBytes
+	cfg.GenerateAcks = false
+	return cfg
+}
+
+// adaptivePolicy (least-loaded minimal) defined inline to avoid importing
+// internal/routing (cycle).
+type adaptivePolicy struct{}
+
+func (adaptivePolicy) Name() string { return "adaptive" }
+func (adaptivePolicy) OutputPort(r *Router, pkt *Packet) int {
+	if target, ok := pkt.CurrentTarget(); ok {
+		return r.Net().Topo.NextHopToRouter(r.ID, target)
+	}
+	topo := r.Net().Topo
+	ports := topo.MinimalPorts(r.ID, pkt.Dst)
+	best, bestLoad := ports[0], r.OutLoad(ports[0])
+	for _, p := range ports[1:] {
+		if l := r.OutLoad(p); l < bestLoad {
+			best, bestLoad = p, l
+		}
+	}
+	return best
+}
+
+// Saturating all-to-all traffic with single-packet buffers must still
+// drain completely on every topology (no flow-control deadlock, nothing
+// lost). This is the runtime counterpart of the static deadlock check.
+func TestSaturationWithMinimalBuffersDrains(t *testing.T) {
+	for _, topo := range []topology.Topology{
+		topology.NewMesh(4, 4),
+		topology.NewTorus(5, 5),
+		topology.NewKAryNTree(2, 3),
+		topology.NewTorus3D(3, 3, 3),
+	} {
+		for _, pol := range []RouterPolicy{detPolicy{}, adaptivePolicy{}} {
+			eng := sim.NewEngine()
+			col := metrics.NewCollector(topo.NumTerminals(), topo.NumRouters(), 0)
+			net := MustNew(eng, topo, minimalBuffers(), pol, col)
+			n := topo.NumTerminals()
+			sent := 0
+			// Three all-to-all volleys injected at once: worst-case
+			// buffer pressure.
+			eng.Schedule(0, func(e *sim.Engine) {
+				for round := 0; round < 3; round++ {
+					for s := 0; s < n; s++ {
+						for d := 0; d < n; d++ {
+							if s == d {
+								continue
+							}
+							net.NICs[s].Send(e, topology.NodeID(d), 1024, MPISend, 0)
+							sent++
+						}
+					}
+				}
+			})
+			events := eng.Run(10 * sim.Second)
+			if events == 0 {
+				t.Fatalf("%s/%s: nothing ran", topo.Name(), pol.Name())
+			}
+			if got := col.Throughput.AcceptedPkts; got != int64(sent) {
+				t.Fatalf("%s/%s: delivered %d/%d packets (flow-control deadlock?)",
+					topo.Name(), pol.Name(), got, sent)
+			}
+			if net.TotalQueuedBytes() != 0 {
+				t.Fatalf("%s/%s: %d bytes stuck in buffers", topo.Name(), pol.Name(), net.TotalQueuedBytes())
+			}
+		}
+	}
+}
+
+// Waypointed (DRB-style) traffic under minimal buffers must also drain:
+// the per-segment escape VCs are what prevents multistep deadlock.
+func TestWaypointSaturationDrains(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	eng := sim.NewEngine()
+	col := metrics.NewCollector(16, 16, 0)
+	net := MustNew(eng, topo, minimalBuffers(), detPolicy{}, col)
+	rng := sim.NewRNG(1)
+	sent := 0
+	eng.Schedule(0, func(e *sim.Engine) {
+		for s := 0; s < 16; s++ {
+			for d := 0; d < 16; d++ {
+				if s == d {
+					continue
+				}
+				src, dst := topology.NodeID(s), topology.NodeID(d)
+				paths := topo.AlternativePaths(src, dst, 4)
+				ctl := &fixedPathController{}
+				if len(paths) > 0 {
+					ctl.path = paths[rng.Intn(len(paths))]
+				}
+				net.NICs[src].Source = ctl
+				for k := 0; k < 2; k++ {
+					net.NICs[src].Send(e, dst, 1024, MPISend, 0)
+					sent++
+				}
+			}
+		}
+	})
+	eng.Run(10 * sim.Second)
+	if got := col.Throughput.AcceptedPkts; got != int64(sent) {
+		t.Fatalf("delivered %d/%d waypointed packets", got, sent)
+	}
+}
+
+// ACK and data traffic must not starve each other: with ACKs enabled and a
+// saturated reverse direction, everything still drains.
+func TestAckDataIsolation(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	eng := sim.NewEngine()
+	cfg := minimalBuffers()
+	cfg.GenerateAcks = true
+	col := metrics.NewCollector(16, 16, 0)
+	net := MustNew(eng, topo, cfg, detPolicy{}, col)
+	sent := 0
+	eng.Schedule(0, func(e *sim.Engine) {
+		// Bidirectional storm between two corner groups.
+		for i := 0; i < 20; i++ {
+			net.NICs[0].Send(e, 15, 1024, MPISend, 0)
+			net.NICs[15].Send(e, 0, 1024, MPISend, 0)
+			net.NICs[3].Send(e, 12, 1024, MPISend, 0)
+			net.NICs[12].Send(e, 3, 1024, MPISend, 0)
+			sent += 4
+		}
+	})
+	eng.Run(10 * sim.Second)
+	if got := col.Throughput.AcceptedPkts; got != int64(sent) {
+		t.Fatalf("delivered %d/%d under ACK+data pressure", got, sent)
+	}
+}
+
+// The same seed must give bit-identical delivery counts and latency sums
+// even under heavy backpressure (event-ordering determinism).
+func TestBackpressureDeterminism(t *testing.T) {
+	run := func() (int64, float64) {
+		topo := topology.NewTorus(5, 5)
+		eng := sim.NewEngine()
+		col := metrics.NewCollector(25, 25, 0)
+		net := MustNew(eng, topo, minimalBuffers(), adaptivePolicy{}, col)
+		rng := sim.NewRNG(77)
+		for i := 0; i < 200; i++ {
+			at := sim.Time(rng.Intn(100)) * sim.Microsecond
+			s := topology.NodeID(rng.Intn(25))
+			d := topology.NodeID(rng.Intn(25))
+			if s == d {
+				continue
+			}
+			eng.Schedule(at, func(e *sim.Engine) { net.NICs[s].Send(e, d, 1024, MPISend, 0) })
+		}
+		eng.Run(10 * sim.Second)
+		return col.Throughput.AcceptedPkts, col.Latency.Global()
+	}
+	p1, l1 := run()
+	p2, l2 := run()
+	if p1 != p2 || l1 != l2 {
+		t.Fatalf("nondeterministic under backpressure: (%d, %v) vs (%d, %v)", p1, l1, p2, l2)
+	}
+}
+
+// Property: packet conservation — in any random scenario, every injected
+// packet is delivered exactly once and nothing remains buffered.
+func TestPacketConservationProperty(t *testing.T) {
+	scenarios := []topology.Topology{
+		topology.NewMesh(4, 4),
+		topology.NewKAryNTree(2, 3),
+		topology.NewTorus(5, 5),
+	}
+	for si, topo := range scenarios {
+		for trial := 0; trial < 4; trial++ {
+			rng := sim.NewRNG(uint64(si*100 + trial))
+			eng := sim.NewEngine()
+			cfg := DefaultConfig()
+			cfg.GenerateAcks = trial%2 == 0
+			cfg.BufferBytes = maxVCs * cfg.PacketBytes * (1 + trial)
+			col := metrics.NewCollector(topo.NumTerminals(), topo.NumRouters(), 0)
+			net := MustNew(eng, topo, cfg, detPolicy{}, col)
+			n := topo.NumTerminals()
+			sent := 0
+			for i := 0; i < 150; i++ {
+				at := sim.Time(rng.Intn(200)) * sim.Microsecond
+				s := topology.NodeID(rng.Intn(n))
+				d := topology.NodeID(rng.Intn(n))
+				if s == d {
+					continue
+				}
+				bytes := 1 + rng.Intn(4096)
+				frags := (bytes + cfg.PacketBytes - 1) / cfg.PacketBytes
+				sent += frags
+				eng.Schedule(at, func(e *sim.Engine) { net.NICs[s].Send(e, d, bytes, MPISend, 0) })
+			}
+			eng.Run(20 * sim.Second)
+			if got := col.Throughput.AcceptedPkts; got != int64(sent) {
+				t.Fatalf("%s trial %d: delivered %d of %d packets", topo.Name(), trial, got, sent)
+			}
+			if net.TotalQueuedBytes() != 0 {
+				t.Fatalf("%s trial %d: bytes left in buffers", topo.Name(), trial)
+			}
+			if col.Throughput.OfferedPkts != int64(sent) {
+				t.Fatalf("%s trial %d: offered accounting mismatch", topo.Name(), trial)
+			}
+		}
+	}
+}

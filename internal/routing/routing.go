@@ -1,0 +1,126 @@
+// Package routing implements the router-side routing policies the paper
+// evaluates PR-DRB against (§4.8.4): Deterministic, Random, Cyclic-priority
+// and minimal Adaptive, plus the waypoint-honouring policy the DRB family
+// rides on. All policies are implemented over the topology's minimal-route
+// primitives, so each is deadlock-free for the same reason the baseline
+// routing is (XY order on meshes, up*/down* on trees).
+package routing
+
+import (
+	"prdrb/internal/network"
+	"prdrb/internal/sim"
+	"prdrb/internal/topology"
+)
+
+// waypointPort resolves the port for a packet that still targets an MSP
+// waypoint; ok is false when the packet is in its final segment.
+func waypointPort(r *network.Router, pkt *network.Packet) (int, bool) {
+	if target, ok := pkt.CurrentTarget(); ok {
+		return r.Net().Topo.NextHopToRouter(r.ID, target), true
+	}
+	return 0, false
+}
+
+// Deterministic always follows the topology's baseline deterministic
+// minimal route (§2.1.4 "deterministic"); waypoints, if present, are
+// honoured segment by segment, which is what the DRB family needs from the
+// fabric.
+type Deterministic struct{}
+
+// Name implements network.RouterPolicy.
+func (Deterministic) Name() string { return "deterministic" }
+
+// OutputPort implements network.RouterPolicy.
+func (Deterministic) OutputPort(r *network.Router, pkt *network.Packet) int {
+	if p, ok := waypointPort(r, pkt); ok {
+		return p
+	}
+	return r.Net().Topo.NextHop(r.ID, pkt.Dst)
+}
+
+// Random is the oblivious random policy: among the minimal ports toward the
+// destination, pick uniformly at random (§2.1.4 "oblivious").
+type Random struct {
+	rng *sim.RNG
+}
+
+// NewRandom builds a Random policy with its own RNG stream.
+func NewRandom(seed uint64) *Random { return &Random{rng: sim.NewRNG(seed ^ 0x5ca1ab1e)} }
+
+// Name implements network.RouterPolicy.
+func (p *Random) Name() string { return "random" }
+
+// OutputPort implements network.RouterPolicy.
+func (p *Random) OutputPort(r *network.Router, pkt *network.Packet) int {
+	if port, ok := waypointPort(r, pkt); ok {
+		return port
+	}
+	ports := r.Net().Topo.MinimalPorts(r.ID, pkt.Dst)
+	return ports[p.rng.Intn(len(ports))]
+}
+
+// Cyclic is the cyclic-priority policy of §4.8.4: minimal ports are used in
+// round-robin order per router, spreading successive packets regardless of
+// load.
+type Cyclic struct {
+	next map[topology.RouterID]int
+}
+
+// NewCyclic builds a Cyclic policy.
+func NewCyclic() *Cyclic { return &Cyclic{next: make(map[topology.RouterID]int)} }
+
+// Name implements network.RouterPolicy.
+func (p *Cyclic) Name() string { return "cyclic" }
+
+// OutputPort implements network.RouterPolicy.
+func (p *Cyclic) OutputPort(r *network.Router, pkt *network.Packet) int {
+	if port, ok := waypointPort(r, pkt); ok {
+		return port
+	}
+	ports := r.Net().Topo.MinimalPorts(r.ID, pkt.Dst)
+	i := p.next[r.ID] % len(ports)
+	p.next[r.ID] = i + 1
+	return ports[i]
+}
+
+// Adaptive is minimal adaptive routing: among the minimal ports, pick the
+// least-occupied output buffer (§2.1.4 "adaptive algorithms take into
+// consideration the status of the network"). Ties break deterministically
+// toward the baseline port.
+type Adaptive struct{}
+
+// Name implements network.RouterPolicy.
+func (Adaptive) Name() string { return "adaptive" }
+
+// OutputPort implements network.RouterPolicy.
+func (Adaptive) OutputPort(r *network.Router, pkt *network.Packet) int {
+	if p, ok := waypointPort(r, pkt); ok {
+		return p
+	}
+	topo := r.Net().Topo
+	ports := topo.MinimalPorts(r.ID, pkt.Dst)
+	base := topo.NextHop(r.ID, pkt.Dst)
+	best, bestLoad := base, r.OutLoad(base)
+	for _, p := range ports {
+		if l := r.OutLoad(p); l < bestLoad {
+			best, bestLoad = p, l
+		}
+	}
+	return best
+}
+
+// ByName returns the named baseline policy, or nil for an unknown name.
+// seed feeds the stochastic policies.
+func ByName(name string, seed uint64) network.RouterPolicy {
+	switch name {
+	case "deterministic":
+		return Deterministic{}
+	case "random":
+		return NewRandom(seed)
+	case "cyclic":
+		return NewCyclic()
+	case "adaptive":
+		return Adaptive{}
+	}
+	return nil
+}

@@ -1,0 +1,263 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine replaces the OPNET Modeler kernel used in the paper's
+// evaluation (thesis §4.1): it provides an ordered event queue, a virtual
+// clock, and cancellable timers. Components (routers, NICs, traffic sources)
+// are modelled as callbacks scheduled on the engine, mirroring OPNET's
+// finite-state-machine processes.
+//
+// Determinism: events at equal timestamps fire in scheduling order (a
+// monotonically increasing sequence number breaks ties), so a simulation is
+// a pure function of its configuration and RNG seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp in nanoseconds.
+type Time int64
+
+// Common duration units, all expressed in Time (nanoseconds).
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Infinity is a timestamp later than any reachable simulation time.
+const Infinity Time = 1<<63 - 1
+
+// String renders the time in microseconds for log readability.
+func (t Time) String() string {
+	return fmt.Sprintf("%.3fus", float64(t)/1000.0)
+}
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Micros converts t to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// Handler is a scheduled event callback. It runs at its scheduled time with
+// the engine as argument so it can schedule follow-up events.
+type Handler func(e *Engine)
+
+// event is a queue entry. seq breaks timestamp ties deterministically.
+type event struct {
+	at        Time
+	seq       uint64
+	fn        Handler
+	cancelled bool
+	index     int // heap index, maintained by eventHeap
+	// gen guards recycled records: an EventID from a previous life of this
+	// record must not cancel its current occupant.
+	gen uint32
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct {
+	ev  *event
+	gen uint32
+}
+
+// Valid reports whether the ID refers to a scheduled (possibly already
+// fired) event.
+func (id EventID) Valid() bool { return id.ev != nil }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation kernel.
+//
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	// free recycles fired event records; a saturated simulation schedules
+	// millions of events and the heap entries dominate allocation churn.
+	free []*event
+	// Processed counts events executed, useful for perf accounting.
+	Processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Len returns the number of pending (non-cancelled) events. Cancelled events
+// still occupy the queue until popped, so this is an upper bound used only
+// for diagnostics and tests.
+func (e *Engine) Len() int { return len(e.queue) }
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics: that
+// is always a model bug and silently reordering would destroy causality.
+func (e *Engine) Schedule(at Time, fn Handler) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+		*ev = event{at: at, seq: e.seq, fn: fn, gen: ev.gen + 1}
+	} else {
+		ev = &event{at: at, seq: e.seq, fn: fn}
+	}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev: ev, gen: ev.gen}
+}
+
+// After runs fn after delay d (relative to the current time).
+func (e *Engine) After(d Time, fn Handler) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel marks a pending event so it will not fire. Cancelling an already
+// fired or already cancelled event is a no-op. Returns whether the event was
+// pending.
+func (e *Engine) Cancel(id EventID) bool {
+	if id.ev == nil || id.ev.gen != id.gen || id.ev.cancelled || id.ev.index < 0 {
+		return false
+	}
+	id.ev.cancelled = true
+	return true
+}
+
+// Stop halts the run loop after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single next event. It returns false when the queue is
+// empty or the engine is stopped.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancelled {
+			e.recycle(ev)
+			continue
+		}
+		e.now = ev.at
+		e.Processed++
+		fn := ev.fn
+		e.recycle(ev)
+		fn(e)
+		return true
+	}
+	return false
+}
+
+// recycle returns a popped event record to the free list. Outstanding
+// EventIDs referring to it become stale, which Cancel tolerates: a fired
+// event has index -1 only transiently — after reuse it may be live again,
+// so cancellation through a stale ID could hit the wrong event. Guard by
+// generation: the seq field differs after reuse.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	if len(e.free) < 1024 {
+		e.free = append(e.free, ev)
+	}
+}
+
+// Run executes events until the queue drains, Stop is called, or the clock
+// passes horizon (exclusive). Events scheduled at exactly horizon do not run.
+// It returns the number of events executed.
+func (e *Engine) Run(horizon Time) uint64 {
+	start := e.Processed
+	e.stopped = false
+	for !e.stopped && len(e.queue) > 0 {
+		// Peek: stop before executing events at/after the horizon.
+		next := e.queue[0]
+		if next.cancelled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at >= horizon {
+			break
+		}
+		e.Step()
+	}
+	return e.Processed - start
+}
+
+// RunAll executes events until the queue drains or Stop is called.
+func (e *Engine) RunAll() uint64 { return e.Run(Infinity) }
+
+// Timer is a restartable one-shot timer built on the engine, used for
+// watchdogs (the FR-DRB fast-response variant, thesis §4.8.4).
+type Timer struct {
+	eng *Engine
+	id  EventID
+	fn  Handler
+}
+
+// NewTimer returns an unarmed timer that runs fn when it expires.
+func NewTimer(eng *Engine, fn Handler) *Timer {
+	if fn == nil {
+		panic("sim: nil timer handler")
+	}
+	return &Timer{eng: eng, fn: fn}
+}
+
+// Reset (re)arms the timer to fire after d. Any previously armed expiry is
+// cancelled.
+func (t *Timer) Reset(d Time) {
+	t.Stop()
+	t.id = t.eng.After(d, func(e *Engine) {
+		t.id = EventID{}
+		t.fn(e)
+	})
+}
+
+// Stop disarms the timer. It is a no-op if the timer is not armed.
+func (t *Timer) Stop() {
+	if t.id.Valid() {
+		t.eng.Cancel(t.id)
+		t.id = EventID{}
+	}
+}
+
+// Armed reports whether the timer has a pending expiry.
+func (t *Timer) Armed() bool { return t.id.Valid() }

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeedsDeterministicAndDistinct(t *testing.T) {
+	a := Seeds(10, 42)
+	b := Seeds(10, 42)
+	seen := map[uint64]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Seeds not deterministic")
+		}
+		if seen[a[i]] {
+			t.Fatal("duplicate seed")
+		}
+		seen[a[i]] = true
+	}
+	c := Seeds(10, 43)
+	if a[0] == c[0] {
+		t.Fatal("different bases gave same first seed")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{10, 20, 30})
+	if s.Mean != 20 || s.N != 3 || s.CI95 <= 0 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summary wrong")
+	}
+	one := Summarize([]float64{5})
+	if one.Mean != 5 || one.CI95 != 0 {
+		t.Fatal("single-sample summary wrong")
+	}
+	if one.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestMultiSeed(t *testing.T) {
+	s := MultiSeed(Seeds(5, 1), func(seed uint64) float64 {
+		return float64(seed % 100)
+	})
+	if s.N != 5 {
+		t.Fatalf("N = %d", s.N)
+	}
+}
+
+func TestGainPct(t *testing.T) {
+	if GainPct(100, 80) != 20 {
+		t.Fatal("20% gain wrong")
+	}
+	if GainPct(100, 120) != -20 {
+		t.Fatal("negative gain wrong")
+	}
+	if GainPct(0, 5) != 0 {
+		t.Fatal("zero baseline should give 0")
+	}
+}
+
+// Property: the summary mean is bounded by min/max of the inputs.
+func TestSummaryBoundsProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := vals[:0]
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		lo, hi := clean[0], clean[0]
+		for _, v := range clean {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		return s.Mean >= lo-1e-9 && s.Mean <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

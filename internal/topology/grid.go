@@ -1,0 +1,302 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Grid is an n-dimensional mesh or torus (the general "k-ary n-cube"
+// family of §2.1.1: meshes "in a 2D or 3D configuration", hypercubes,
+// tori). One terminal attaches to every router. Routing is
+// dimension-ordered (dimension 0 first), the standard deadlock-free
+// scheme; wrap links carry datelines exactly as in the 2-D torus.
+//
+// Port layout: ports 2d and 2d+1 are the +/- directions of dimension d;
+// the last port is the terminal.
+type Grid struct {
+	Dims []int
+	Wrap bool
+
+	stride []int // stride[d] = product of Dims[:d]
+	size   int
+}
+
+// NewGrid builds an n-dimensional mesh (wrap=false) or torus (wrap=true).
+// Tori need every dimension >= 3 so wrap links are distinct.
+func NewGrid(dims []int, wrap bool) *Grid {
+	if len(dims) == 0 {
+		panic("topology: grid needs at least one dimension")
+	}
+	g := &Grid{Dims: append([]int(nil), dims...), Wrap: wrap}
+	g.stride = make([]int, len(dims))
+	g.size = 1
+	for d, k := range dims {
+		if k <= 0 || (wrap && k < 3) {
+			panic(fmt.Sprintf("topology: invalid grid dimension %d (wrap=%v)", k, wrap))
+		}
+		g.stride[d] = g.size
+		g.size *= k
+	}
+	return g
+}
+
+// NewMesh3D returns an x*y*z mesh.
+func NewMesh3D(x, y, z int) *Grid { return NewGrid([]int{x, y, z}, false) }
+
+// NewTorus3D returns an x*y*z torus (3-D k-ary n-cube).
+func NewTorus3D(x, y, z int) *Grid { return NewGrid([]int{x, y, z}, true) }
+
+// Name implements Topology.
+func (g *Grid) Name() string {
+	parts := make([]string, len(g.Dims))
+	for i, k := range g.Dims {
+		parts[i] = fmt.Sprint(k)
+	}
+	kind := "mesh"
+	if g.Wrap {
+		kind = "torus"
+	}
+	return kind + strings.Join(parts, "x")
+}
+
+// NumTerminals implements Topology.
+func (g *Grid) NumTerminals() int { return g.size }
+
+// NumRouters implements Topology.
+func (g *Grid) NumRouters() int { return g.size }
+
+// Radix implements Topology.
+func (g *Grid) Radix(RouterID) int { return 2*len(g.Dims) + 1 }
+
+func (g *Grid) termPort() int { return 2 * len(g.Dims) }
+
+// CoordOf returns router r's coordinates.
+func (g *Grid) CoordOf(r RouterID) []int {
+	c := make([]int, len(g.Dims))
+	v := int(r)
+	for d := range g.Dims {
+		c[d] = v % g.Dims[d]
+		v /= g.Dims[d]
+	}
+	return c
+}
+
+// At returns the router at the given coordinates.
+func (g *Grid) At(c []int) RouterID {
+	v := 0
+	for d, x := range c {
+		v += x * g.stride[d]
+	}
+	return RouterID(v)
+}
+
+// RouterLabel implements Topology.
+func (g *Grid) RouterLabel(r RouterID) string {
+	c := g.CoordOf(r)
+	parts := make([]string, len(c))
+	for i, x := range c {
+		parts[i] = fmt.Sprint(x)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// PortPeer implements Topology.
+func (g *Grid) PortPeer(r RouterID, p int) Peer {
+	if p == g.termPort() {
+		return Peer{Router: None, Terminal: NodeID(r)}
+	}
+	d, dir := p/2, p%2 // dir 0 = +, 1 = -
+	c := g.CoordOf(r)
+	step := 1
+	if dir == 1 {
+		step = -1
+	}
+	nx := c[d] + step
+	if g.Wrap {
+		nx = (nx + g.Dims[d]) % g.Dims[d]
+	} else if nx < 0 || nx >= g.Dims[d] {
+		return Peer{Router: None, Terminal: -1}
+	}
+	c[d] = nx
+	// Peer's port back toward us is the opposite direction of dimension d.
+	back := 2*d + (1 - dir)
+	return Peer{Router: g.At(c), Port: back, Terminal: -1}
+}
+
+// TerminalAttach implements Topology.
+func (g *Grid) TerminalAttach(t NodeID) (RouterID, int) {
+	return RouterID(t), g.termPort()
+}
+
+// LinkDim implements Topology.
+func (g *Grid) LinkDim(r RouterID, p int) (int, bool) {
+	if p == g.termPort() {
+		return -1, false
+	}
+	d, dir := p/2, p%2
+	if !g.Wrap {
+		return d, false
+	}
+	x := g.CoordOf(r)[d]
+	// The + wrap leaves the last coordinate; the - wrap leaves coordinate 0.
+	wrap := (dir == 0 && x == g.Dims[d]-1) || (dir == 1 && x == 0)
+	return d, wrap
+}
+
+// delta returns the signed displacement from a to b in dimension d, the
+// short way around on a torus.
+func (g *Grid) delta(a, b []int, d int) int {
+	dd := b[d] - a[d]
+	if g.Wrap {
+		k := g.Dims[d]
+		if dd > k/2 {
+			dd -= k
+		} else if dd < -k/2 {
+			dd += k
+		}
+	}
+	return dd
+}
+
+// Distance implements Topology (Manhattan, wrapped on tori).
+func (g *Grid) Distance(a, b RouterID) int {
+	ca, cb := g.CoordOf(a), g.CoordOf(b)
+	total := 0
+	for d := range g.Dims {
+		total += abs(g.delta(ca, cb, d))
+	}
+	return total
+}
+
+// NextHopToRouter implements Topology (dimension order).
+func (g *Grid) NextHopToRouter(r, target RouterID) int {
+	if r == target {
+		panic("topology: NextHopToRouter with r == target")
+	}
+	ca, cb := g.CoordOf(r), g.CoordOf(target)
+	for d := range g.Dims {
+		dd := g.delta(ca, cb, d)
+		if dd > 0 {
+			return 2 * d
+		}
+		if dd < 0 {
+			return 2*d + 1
+		}
+	}
+	panic("topology: unreachable")
+}
+
+// NextHop implements Topology.
+func (g *Grid) NextHop(r RouterID, dst NodeID) int {
+	tr, tp := g.TerminalAttach(dst)
+	if r == tr {
+		return tp
+	}
+	return g.NextHopToRouter(r, tr)
+}
+
+// MinimalPorts implements Topology: dimension-ordered, single productive
+// port (see Mesh.MinimalPorts for why free dimension interleaving is not
+// offered under this VC scheme).
+func (g *Grid) MinimalPorts(r RouterID, dst NodeID) []int {
+	tr, tp := g.TerminalAttach(dst)
+	if r == tr {
+		return []int{tp}
+	}
+	return []int{g.NextHopToRouter(r, tr)}
+}
+
+// AlternativePaths implements Topology: two-waypoint MSPs through routers
+// adjacent to the source and destination routers, rings of growing radius
+// — the n-dimensional generalization of the 2-D construction (§3.2.3).
+func (g *Grid) AlternativePaths(src, dst NodeID, max int) []Path {
+	sr, _ := g.TerminalAttach(src)
+	dr, _ := g.TerminalAttach(dst)
+	if sr == dr || max <= 0 {
+		return nil
+	}
+	direct := g.Distance(sr, dr)
+	var out []Path
+	type cand struct {
+		p    Path
+		cost int
+	}
+	for ring := 1; ring <= 2 && len(out) < max; ring++ {
+		srcSide := g.ring(sr, ring)
+		dstSide := g.ring(dr, ring)
+		var cands []cand
+		for _, a := range srcSide {
+			for _, b := range dstSide {
+				if a == dr || b == sr || a == sr || b == dr {
+					continue
+				}
+				var p Path
+				if a == b {
+					p = Path{a}
+				} else {
+					p = Path{a, b}
+				}
+				cost := g.Distance(sr, a) + g.Distance(a, b) + g.Distance(b, dr)
+				if cost > 2*direct+2 {
+					continue
+				}
+				cands = append(cands, cand{p: p, cost: cost})
+			}
+		}
+		sort.SliceStable(cands, func(i, j int) bool {
+			if cands[i].cost != cands[j].cost {
+				return cands[i].cost < cands[j].cost
+			}
+			return lessPath(cands[i].p, cands[j].p)
+		})
+		for _, c := range cands {
+			if containsPath(out, c.p) {
+				continue
+			}
+			out = append(out, c.p)
+			if len(out) >= max {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ring lists routers at exactly Manhattan distance dist from r.
+func (g *Grid) ring(r RouterID, dist int) []RouterID {
+	base := g.CoordOf(r)
+	var out []RouterID
+	// Enumerate displacement vectors with |v|_1 == dist via DFS over
+	// dimensions.
+	var rec func(d, remaining int, cur []int)
+	rec = func(d, remaining int, cur []int) {
+		if d == len(g.Dims) {
+			if remaining != 0 {
+				return
+			}
+			c := make([]int, len(base))
+			for i := range base {
+				x := base[i] + cur[i]
+				if g.Wrap {
+					x = (x%g.Dims[i] + g.Dims[i]) % g.Dims[i]
+				} else if x < 0 || x >= g.Dims[i] {
+					return
+				}
+				c[i] = x
+			}
+			rr := g.At(c)
+			if rr != r {
+				out = append(out, rr)
+			}
+			return
+		}
+		for v := -remaining; v <= remaining; v++ {
+			cur[d] = v
+			rec(d+1, remaining-abs(v), cur)
+		}
+		cur[d] = 0
+	}
+	rec(0, dist, make([]int, len(g.Dims)))
+	return dedupeRouters(out)
+}

@@ -1,0 +1,129 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func gridTopologies() []*Grid {
+	return []*Grid{
+		NewGrid([]int{8}, false),
+		NewGrid([]int{5}, true),
+		NewGrid([]int{4, 4}, false),
+		NewGrid([]int{3, 3}, true),
+		NewMesh3D(3, 3, 3),
+		NewTorus3D(3, 4, 3),
+		NewGrid([]int{2, 2, 2, 2}, false), // 4-D hypercube mesh
+	}
+}
+
+func TestGridWiring(t *testing.T) {
+	for _, g := range gridTopologies() {
+		if err := Validate(g); err != nil {
+			t.Errorf("%s: %v", g.Name(), err)
+		}
+	}
+}
+
+func TestGridRoutingDelivers(t *testing.T) {
+	for _, g := range gridTopologies() {
+		n := g.NumTerminals()
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s == d {
+					continue
+				}
+				hops := walk(g, NodeID(s), NodeID(d))
+				sr, _ := g.TerminalAttach(NodeID(s))
+				dr, _ := g.TerminalAttach(NodeID(d))
+				if hops != g.Distance(sr, dr) {
+					t.Fatalf("%s: %d->%d took %d hops, distance %d", g.Name(), s, d, hops, g.Distance(sr, dr))
+				}
+			}
+		}
+	}
+}
+
+func TestGridWaypointsDeliver(t *testing.T) {
+	for _, g := range []*Grid{NewMesh3D(3, 3, 3), NewTorus3D(3, 3, 3)} {
+		n := g.NumTerminals()
+		for s := 0; s < n; s += 3 {
+			for d := 1; d < n; d += 5 {
+				if s == d {
+					continue
+				}
+				for _, p := range g.AlternativePaths(NodeID(s), NodeID(d), 4) {
+					if !followMSP(g, NodeID(s), NodeID(d), p) {
+						t.Fatalf("%s: MSP %v for %d->%d failed", g.Name(), p, s, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGridCoordRoundTrip(t *testing.T) {
+	g := NewMesh3D(3, 4, 5)
+	f := func(raw uint16) bool {
+		r := RouterID(int(raw) % g.NumRouters())
+		return g.At(g.CoordOf(r)) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridRing3D(t *testing.T) {
+	g := NewMesh3D(5, 5, 5)
+	center := g.At([]int{2, 2, 2})
+	// Ring 1 in 3-D: 6 face neighbours.
+	if got := len(g.ring(center, 1)); got != 6 {
+		t.Fatalf("3-D ring 1 = %d routers, want 6", got)
+	}
+	// Ring 2: 18 (6 at distance 2 straight + 12 diagonal).
+	if got := len(g.ring(center, 2)); got != 18 {
+		t.Fatalf("3-D ring 2 = %d routers, want 18", got)
+	}
+}
+
+func TestGridDatelines(t *testing.T) {
+	g := NewTorus3D(3, 3, 3)
+	wraps := 0
+	for r := RouterID(0); int(r) < g.NumRouters(); r++ {
+		for p := 0; p < g.Radix(r); p++ {
+			if _, w := g.LinkDim(r, p); w {
+				wraps++
+			}
+		}
+	}
+	// Each dimension contributes 2 wrap links (one per direction) per ring;
+	// 3 dims x 9 rings each x 2 = 54.
+	if wraps != 54 {
+		t.Fatalf("torus3d wrap links = %d, want 54", wraps)
+	}
+	m := NewMesh3D(3, 3, 3)
+	for r := RouterID(0); int(r) < m.NumRouters(); r++ {
+		for p := 0; p < m.Radix(r); p++ {
+			if _, w := m.LinkDim(r, p); w {
+				t.Fatal("mesh reported a wrap link")
+			}
+		}
+	}
+}
+
+func TestGridConstructorPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewGrid(nil, false) },
+		func() { NewGrid([]int{0}, false) },
+		func() { NewGrid([]int{2, 2}, true) }, // torus dims must be >= 3
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

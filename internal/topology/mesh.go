@@ -1,0 +1,331 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mesh port layout: 0=+X (east), 1=-X (west), 2=+Y (north), 3=-Y (south),
+// 4=terminal. Every router hosts exactly one terminal, matching the paper's
+// 8x8 mesh with 64 processing nodes (§4.6.2, Table 4.2).
+const (
+	meshEast = iota
+	meshWest
+	meshNorth
+	meshSouth
+	meshLocal
+	meshRadix
+)
+
+// Mesh is a W x H 2-D mesh (Wrap=false) or torus (Wrap=true) of routers,
+// one terminal per router. Routing is dimension-ordered (X then Y), the
+// standard deadlock-free deterministic baseline for meshes (§2.1.4).
+type Mesh struct {
+	W, H int
+	Wrap bool
+}
+
+// NewMesh returns a W x H mesh. It panics on non-positive dimensions.
+func NewMesh(w, h int) *Mesh {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("topology: invalid mesh %dx%d", w, h))
+	}
+	return &Mesh{W: w, H: h}
+}
+
+// NewTorus returns a W x H torus (closed mesh, §2.1.1). Dimensions must be
+// at least 3 for the wrap links to be distinct from the direct links.
+func NewTorus(w, h int) *Mesh {
+	if w < 3 || h < 3 {
+		panic(fmt.Sprintf("topology: invalid torus %dx%d (min 3x3)", w, h))
+	}
+	return &Mesh{W: w, H: h, Wrap: true}
+}
+
+// Name implements Topology.
+func (m *Mesh) Name() string {
+	if m.Wrap {
+		return fmt.Sprintf("torus%dx%d", m.W, m.H)
+	}
+	return fmt.Sprintf("mesh%dx%d", m.W, m.H)
+}
+
+// NumTerminals implements Topology.
+func (m *Mesh) NumTerminals() int { return m.W * m.H }
+
+// NumRouters implements Topology.
+func (m *Mesh) NumRouters() int { return m.W * m.H }
+
+// Radix implements Topology.
+func (m *Mesh) Radix(RouterID) int { return meshRadix }
+
+// Coord returns the (x, y) grid position of router r.
+func (m *Mesh) Coord(r RouterID) (x, y int) { return int(r) % m.W, int(r) / m.W }
+
+// At returns the router at grid position (x, y).
+func (m *Mesh) At(x, y int) RouterID { return RouterID(y*m.W + x) }
+
+// RouterLabel implements Topology.
+func (m *Mesh) RouterLabel(r RouterID) string {
+	x, y := m.Coord(r)
+	return fmt.Sprintf("(%d,%d)", x, y)
+}
+
+// PortPeer implements Topology.
+func (m *Mesh) PortPeer(r RouterID, p int) Peer {
+	x, y := m.Coord(r)
+	step := func(nx, ny int, backPort int) Peer {
+		if m.Wrap {
+			nx, ny = (nx+m.W)%m.W, (ny+m.H)%m.H
+		} else if nx < 0 || nx >= m.W || ny < 0 || ny >= m.H {
+			return Peer{Router: None, Terminal: -1}
+		}
+		return Peer{Router: m.At(nx, ny), Port: backPort, Terminal: -1}
+	}
+	switch p {
+	case meshEast:
+		return step(x+1, y, meshWest)
+	case meshWest:
+		return step(x-1, y, meshEast)
+	case meshNorth:
+		return step(x, y+1, meshSouth)
+	case meshSouth:
+		return step(x, y-1, meshNorth)
+	case meshLocal:
+		return Peer{Router: None, Terminal: NodeID(r)}
+	}
+	panic(fmt.Sprintf("topology: mesh port %d out of range", p))
+}
+
+// TerminalAttach implements Topology: terminal i lives on router i.
+func (m *Mesh) TerminalAttach(t NodeID) (RouterID, int) {
+	return RouterID(t), meshLocal
+}
+
+// LinkDim implements Topology: X links are dimension 0, Y links dimension
+// 1; on a torus, the edge closing each ring (from the last coordinate back
+// to 0 and vice versa) is the dateline.
+func (m *Mesh) LinkDim(r RouterID, p int) (int, bool) {
+	x, y := m.Coord(r)
+	switch p {
+	case meshEast:
+		return 0, m.Wrap && x == m.W-1
+	case meshWest:
+		return 0, m.Wrap && x == 0
+	case meshNorth:
+		return 1, m.Wrap && y == m.H-1
+	case meshSouth:
+		return 1, m.Wrap && y == 0
+	}
+	return -1, false
+}
+
+// deltas returns the signed per-dimension displacement from a to b, taking
+// the short way around on a torus.
+func (m *Mesh) deltas(a, b RouterID) (dx, dy int) {
+	ax, ay := m.Coord(a)
+	bx, by := m.Coord(b)
+	dx, dy = bx-ax, by-ay
+	if m.Wrap {
+		if dx > m.W/2 {
+			dx -= m.W
+		} else if dx < -m.W/2 {
+			dx += m.W
+		}
+		if dy > m.H/2 {
+			dy -= m.H
+		} else if dy < -m.H/2 {
+			dy += m.H
+		}
+	}
+	return dx, dy
+}
+
+// Distance implements Topology (Manhattan distance, wrapped on a torus).
+func (m *Mesh) Distance(a, b RouterID) int {
+	dx, dy := m.deltas(a, b)
+	return abs(dx) + abs(dy)
+}
+
+// NextHopToRouter implements Topology with X-then-Y dimension order.
+func (m *Mesh) NextHopToRouter(r, target RouterID) int {
+	if r == target {
+		panic("topology: NextHopToRouter with r == target")
+	}
+	dx, dy := m.deltas(r, target)
+	switch {
+	case dx > 0:
+		return meshEast
+	case dx < 0:
+		return meshWest
+	case dy > 0:
+		return meshNorth
+	default:
+		return meshSouth
+	}
+}
+
+// NextHop implements Topology.
+func (m *Mesh) NextHop(r RouterID, dst NodeID) int {
+	tr, tp := m.TerminalAttach(dst)
+	if r == tr {
+		return tp
+	}
+	return m.NextHopToRouter(r, tr)
+}
+
+// MinimalPorts implements Topology. On meshes and tori the productive
+// ports are restricted to dimension order (X before Y): free dimension
+// interleaving under single-VC-per-class flow control has the classic
+// adaptive-routing deadlock (it needs Duato-style escape channels the
+// paper's router does not have), and the paper only exercises per-hop
+// adaptive/oblivious choice on the fat tree, where ascent choice is
+// structurally safe. Within a dimension there is exactly one minimal
+// direction, so mesh adaptivity degenerates to the deterministic route —
+// path diversity on meshes comes from DRB's multistep paths instead.
+func (m *Mesh) MinimalPorts(r RouterID, dst NodeID) []int {
+	tr, tp := m.TerminalAttach(dst)
+	if r == tr {
+		return []int{tp}
+	}
+	dx, dy := m.deltas(r, tr)
+	switch {
+	case dx > 0:
+		return []int{meshEast}
+	case dx < 0:
+		return []int{meshWest}
+	case dy > 0:
+		return []int{meshNorth}
+	default:
+		return []int{meshSouth}
+	}
+}
+
+// AlternativePaths implements Topology. Candidate MSPs use two waypoint
+// routers, one adjacent to the source router and one adjacent to the
+// destination router (IN1, IN2 of §3.2.3, Fig 3.6), taken from rings of
+// increasing distance so path expansion is gradual: ring-1 detours first,
+// then ring-2, etc. Within a ring, candidates are ordered by total routed
+// length (Eq 3.2) so the cheapest detours open first.
+func (m *Mesh) AlternativePaths(src, dst NodeID, max int) []Path {
+	sr, _ := m.TerminalAttach(src)
+	dr, _ := m.TerminalAttach(dst)
+	if sr == dr || max <= 0 {
+		return nil
+	}
+	direct := m.Distance(sr, dr)
+	var out []Path
+	type cand struct {
+		p    Path
+		cost int
+	}
+	maxRing := 2
+	if m.W+m.H > 8 {
+		maxRing = 3
+	}
+	for ring := 1; ring <= maxRing && len(out) < max; ring++ {
+		srcSide := m.ring(sr, ring)
+		dstSide := m.ring(dr, ring)
+		var cands []cand
+		for _, a := range srcSide {
+			for _, b := range dstSide {
+				if a == dr || b == sr || a == sr || b == dr {
+					continue
+				}
+				var p Path
+				if a == b {
+					p = Path{a}
+				} else {
+					p = Path{a, b}
+				}
+				cost := m.Distance(sr, a) + m.Distance(a, b) + m.Distance(b, dr)
+				// Reject detours that more than double the direct length:
+				// the paper selects shorter paths to bound transmission
+				// time (§3.2.6).
+				if cost > 2*direct+2 {
+					continue
+				}
+				cands = append(cands, cand{p: p, cost: cost})
+			}
+		}
+		sort.SliceStable(cands, func(i, j int) bool {
+			if cands[i].cost != cands[j].cost {
+				return cands[i].cost < cands[j].cost
+			}
+			return lessPath(cands[i].p, cands[j].p)
+		})
+		for _, c := range cands {
+			if containsPath(out, c.p) {
+				continue
+			}
+			out = append(out, c.p)
+			if len(out) >= max {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ring returns the routers at exactly Manhattan distance d from r, in a
+// deterministic order.
+func (m *Mesh) ring(r RouterID, d int) []RouterID {
+	x, y := m.Coord(r)
+	var out []RouterID
+	for dx := -d; dx <= d; dx++ {
+		rem := d - abs(dx)
+		dys := []int{rem}
+		if rem != 0 {
+			dys = append(dys, -rem)
+		}
+		for _, dy := range dys {
+			nx, ny := x+dx, y+dy
+			if m.Wrap {
+				nx, ny = (nx+m.W)%m.W, (ny+m.H)%m.H
+			} else if nx < 0 || nx >= m.W || ny < 0 || ny >= m.H {
+				continue
+			}
+			if rr := m.At(nx, ny); rr != r {
+				out = append(out, rr)
+			}
+		}
+	}
+	return dedupeRouters(out)
+}
+
+func dedupeRouters(in []RouterID) []RouterID {
+	seen := make(map[RouterID]bool, len(in))
+	out := in[:0]
+	for _, r := range in {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func containsPath(ps []Path, p Path) bool {
+	for _, q := range ps {
+		if q.Equal(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func lessPath(a, b Path) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,351 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KAryNTree is the k-ary n-tree fat-tree of §2.1.5 (after Petrini &
+// Vanneschi): k^n terminals, n levels of k^(n-1) switches, each switch with
+// k down ports (0..k-1) and, below the top level, k up ports (k..2k-1).
+//
+// A switch is identified by (level, word) where word is an (n-1)-digit
+// base-k string w[n-2]..w[0]. Switch <w, l> at level l connects upward to
+// the k switches <w', l+1> whose words differ from w only in digit l.
+// Terminal p = p[n-1]..p[0] attaches to the level-0 switch with word
+// p[n-1]..p[1] via down port p[0].
+//
+// Minimal routing is the two-phase scheme of §2.1.5: an (optionally
+// adaptive) ascending phase to a nearest common ancestor (NCA), then a
+// deterministic descending phase. The baseline deterministic up-route fixes
+// digit l to dst digit l+1 at each level, so all packets to one destination
+// converge on a single root subtree — the classic deterministic fat-tree
+// routing whose contention the paper's baselines exhibit.
+type KAryNTree struct {
+	K, N     int
+	switches int       // per level: K^(N-1)
+	terms    int       // K^N
+	dist     [][]int16 // all-pairs router distances, BFS-precomputed
+}
+
+// NewKAryNTree builds a k-ary n-tree. It panics unless k >= 2 and n >= 2.
+func NewKAryNTree(k, n int) *KAryNTree {
+	if k < 2 || n < 2 {
+		panic(fmt.Sprintf("topology: invalid %d-ary %d-tree", k, n))
+	}
+	per := 1
+	for i := 0; i < n-1; i++ {
+		per *= k
+	}
+	t := &KAryNTree{K: k, N: n, switches: per, terms: per * k}
+	t.precomputeDistances()
+	return t
+}
+
+// precomputeDistances runs one BFS per router over the physical switch
+// graph. Tree distances are not a simple closed form once both endpoints
+// sit above the nearest common level (e.g. two distinct roots are 2 apart
+// via any shared level-(n-2) switch), so we take the exact graph metric.
+func (t *KAryNTree) precomputeDistances() {
+	nr := t.NumRouters()
+	t.dist = make([][]int16, nr)
+	for src := 0; src < nr; src++ {
+		row := make([]int16, nr)
+		for i := range row {
+			row[i] = -1
+		}
+		row[src] = 0
+		queue := []RouterID{RouterID(src)}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for p := 0; p < t.Radix(cur); p++ {
+				peer := t.PortPeer(cur, p)
+				if !peer.IsRouter() {
+					continue
+				}
+				if row[peer.Router] < 0 {
+					row[peer.Router] = row[cur] + 1
+					queue = append(queue, peer.Router)
+				}
+			}
+		}
+		t.dist[src] = row
+	}
+}
+
+// Name implements Topology.
+func (t *KAryNTree) Name() string { return fmt.Sprintf("ft-%dary%dtree", t.K, t.N) }
+
+// NumTerminals implements Topology.
+func (t *KAryNTree) NumTerminals() int { return t.terms }
+
+// NumRouters implements Topology.
+func (t *KAryNTree) NumRouters() int { return t.N * t.switches }
+
+// Level returns the tree level (0 = leaf, N-1 = root) of router r.
+func (t *KAryNTree) Level(r RouterID) int { return int(r) / t.switches }
+
+// Word returns the (n-1)-digit identifier of router r within its level.
+func (t *KAryNTree) Word(r RouterID) int { return int(r) % t.switches }
+
+// Switch returns the RouterID for (level, word).
+func (t *KAryNTree) Switch(level, word int) RouterID {
+	return RouterID(level*t.switches + word)
+}
+
+// digit extracts base-k digit i of word w.
+func (t *KAryNTree) digit(w, i int) int {
+	for ; i > 0; i-- {
+		w /= t.K
+	}
+	return w % t.K
+}
+
+// setDigit returns w with base-k digit i replaced by v.
+func (t *KAryNTree) setDigit(w, i, v int) int {
+	pow := 1
+	for j := 0; j < i; j++ {
+		pow *= t.K
+	}
+	old := (w / pow) % t.K
+	return w + (v-old)*pow
+}
+
+// Radix implements Topology.
+func (t *KAryNTree) Radix(r RouterID) int {
+	if t.Level(r) == t.N-1 {
+		return t.K // top level: down ports only
+	}
+	return 2 * t.K
+}
+
+// RouterLabel implements Topology.
+func (t *KAryNTree) RouterLabel(r RouterID) string {
+	return fmt.Sprintf("L%d.S%02d", t.Level(r), t.Word(r))
+}
+
+// PortPeer implements Topology.
+func (t *KAryNTree) PortPeer(r RouterID, p int) Peer {
+	l, w := t.Level(r), t.Word(r)
+	if p < 0 || p >= t.Radix(r) {
+		panic(fmt.Sprintf("topology: tree port %d out of range on %s", p, t.RouterLabel(r)))
+	}
+	if p < t.K { // down port
+		if l == 0 {
+			// Terminal: word supplies the high n-1 digits, port the lowest.
+			return Peer{Router: None, Terminal: NodeID(w*t.K + p)}
+		}
+		// Down to the level l-1 switch whose digit l-1 equals p; its up port
+		// back to us is k + (our digit at that position... the up link from
+		// <w', l-1> choosing digit value d arrives at <w'(l-1 := d), l>; the
+		// reverse port on the lower switch is k + digit l-1 of OUR word).
+		lw := t.setDigit(w, l-1, p)
+		return Peer{Router: t.Switch(l-1, lw), Port: t.K + t.digit(w, l-1), Terminal: -1}
+	}
+	// Up port k+v: to the level l+1 switch whose word sets digit l to v.
+	v := p - t.K
+	uw := t.setDigit(w, l, v)
+	return Peer{Router: t.Switch(l+1, uw), Port: t.digit(w, l), Terminal: -1}
+}
+
+// TerminalAttach implements Topology.
+func (t *KAryNTree) TerminalAttach(n NodeID) (RouterID, int) {
+	return t.Switch(0, int(n)/t.K), int(n) % t.K
+}
+
+// LinkDim implements Topology: up links are dimension 0, down links
+// dimension 1, terminal exits -1. Trees have no rings, so no datelines.
+func (t *KAryNTree) LinkDim(r RouterID, p int) (int, bool) {
+	if p >= t.K {
+		return 0, false // up
+	}
+	if t.Level(r) == 0 {
+		return -1, false // terminal
+	}
+	return 1, false // down
+}
+
+// ancestorLevelNeeded returns the lowest level at which router r (level l,
+// word w) has a common ancestor with terminal dst: the smallest level j >= l
+// such that the digits of w at positions j..n-2 match dst digits j+1..n-1.
+// If r is already an ancestor of dst it returns l itself.
+func (t *KAryNTree) ancestorLevelNeeded(r RouterID, dst NodeID) int {
+	l, w := t.Level(r), t.Word(r)
+	dw := int(dst) / t.K // destination's leaf word = digits n-1..1
+	need := l
+	for i := t.N - 2; i >= l; i-- {
+		if t.digit(w, i) != t.digit(dw, i) {
+			need = i + 1
+			break
+		}
+	}
+	return need
+}
+
+// IsAncestor reports whether router r is an ancestor of terminal dst (i.e.
+// dst is reachable going only down from r).
+func (t *KAryNTree) IsAncestor(r RouterID, dst NodeID) bool {
+	return t.ancestorLevelNeeded(r, dst) == t.Level(r)
+}
+
+// downPort returns the down port at ancestor router r toward terminal dst.
+func (t *KAryNTree) downPort(r RouterID, dst NodeID) int {
+	l := t.Level(r)
+	if l == 0 {
+		return int(dst) % t.K
+	}
+	// Next switch down must have digit l-1 equal to dst digit l.
+	return t.digit(int(dst), l)
+}
+
+// NextHop implements Topology: deterministic up (digit fixed to the
+// destination's digit) until an ancestor, then the unique down route.
+func (t *KAryNTree) NextHop(r RouterID, dst NodeID) int {
+	if t.IsAncestor(r, dst) {
+		return t.downPort(r, dst)
+	}
+	l := t.Level(r)
+	// Ascend, fixing digit l to dst digit l+1: all traffic to dst shares
+	// one ascending tree, the deterministic baseline's signature.
+	return t.K + t.digit(int(dst), l+1)
+}
+
+// MinimalPorts implements Topology: when below the needed ancestor level,
+// every up port continues a minimal path; once an ancestor, only the unique
+// down port does.
+func (t *KAryNTree) MinimalPorts(r RouterID, dst NodeID) []int {
+	if t.IsAncestor(r, dst) {
+		return []int{t.downPort(r, dst)}
+	}
+	ports := make([]int, t.K)
+	for i := range ports {
+		ports[i] = t.K + i
+	}
+	return ports
+}
+
+// NextHopToRouter implements Topology. The target must be reachable purely
+// up (an ancestor-side switch) or purely down from r; DRB waypoints on trees
+// are always ancestors so both cases arise as a segment ascends to its
+// waypoint and descends from it.
+func (t *KAryNTree) NextHopToRouter(r, target RouterID) int {
+	if r == target {
+		panic("topology: NextHopToRouter with r == target")
+	}
+	rl := t.Level(r)
+	tl, tw := t.Level(target), t.Word(target)
+	if tl > rl {
+		// Ascend: digits rl..n-2 of target must be adopted bottom-up; the
+		// next step fixes digit rl.
+		return t.K + t.digit(tw, rl)
+	}
+	if tl < rl {
+		// Descend: the next switch down differs in digit rl-1; it must
+		// carry the target's digit there.
+		return t.digit(tw, rl-1)
+	}
+	panic(fmt.Sprintf("topology: no up/down route %s -> %s", t.RouterLabel(r), t.RouterLabel(target)))
+}
+
+// Distance implements Topology: the exact hop count in the switch graph,
+// precomputed by BFS at construction.
+func (t *KAryNTree) Distance(a, b RouterID) int {
+	return int(t.dist[a][b])
+}
+
+// CommonAncestors returns the NCA switches of terminals src and dst: all
+// switches at the NCA level whose upper digits match, ordered by word. The
+// deterministic baseline uses exactly one of them; the others are the
+// natural DRB alternatives (§3.2.3 applied to k-ary n-trees).
+func (t *KAryNTree) CommonAncestors(src, dst NodeID) []RouterID {
+	sw, dw := int(src)/t.K, int(dst)/t.K
+	if src == dst {
+		return nil
+	}
+	// NCA level: highest differing digit position between the full terminal
+	// numbers determines how far up we must go.
+	lvl := 0
+	for i := t.N - 2; i >= 0; i-- {
+		if t.digit(sw, i) != t.digit(dw, i) {
+			lvl = i + 1
+			break
+		}
+	}
+	return t.ancestorsAt(src, lvl)
+}
+
+// ancestorsAt lists every ancestor switch of terminal n at the given level:
+// digits level..n-2 are fixed to the terminal's, digits 0..level-1 range
+// over all k values.
+func (t *KAryNTree) ancestorsAt(n NodeID, level int) []RouterID {
+	base := int(n) / t.K
+	count := 1
+	for i := 0; i < level; i++ {
+		count *= t.K
+	}
+	fixed := base / count * count
+	out := make([]RouterID, 0, count)
+	for low := 0; low < count; low++ {
+		out = append(out, t.Switch(level, fixed+low))
+	}
+	return out
+}
+
+// AlternativePaths implements Topology. Alternatives are single-waypoint
+// MSPs through (1) the non-default NCA switches at the minimal level, then
+// (2) ancestors one level higher (a controlled non-minimal expansion, the
+// tree analogue of widening the mesh detour ring).
+func (t *KAryNTree) AlternativePaths(src, dst NodeID, max int) []Path {
+	if src == dst || max <= 0 {
+		return nil
+	}
+	ncas := t.CommonAncestors(src, dst)
+	if len(ncas) == 0 {
+		return nil
+	}
+	// The deterministic route's NCA: digits fixed by dst along the ascent.
+	defaultNCA := t.deterministicNCA(src, dst)
+	var out []Path
+	add := func(r RouterID) {
+		if r == defaultNCA || len(out) >= max {
+			return
+		}
+		p := Path{r}
+		if !containsPath(out, p) {
+			out = append(out, p)
+		}
+	}
+	// Order NCA alternatives deterministically but spread by source so
+	// different flows prefer different switches.
+	sorted := append([]RouterID(nil), ncas...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	off := int(src) % len(sorted)
+	for range sorted {
+		add(sorted[off])
+		off = (off + 1) % len(sorted)
+	}
+	// One level of controlled over-ascent, if the tree allows it.
+	lvl := t.Level(ncas[0])
+	if lvl+1 <= t.N-1 && len(out) < max {
+		higher := t.ancestorsAt(src, lvl+1)
+		off = int(dst) % len(higher)
+		for range higher {
+			add(higher[off])
+			off = (off + 1) % len(higher)
+		}
+	}
+	return out
+}
+
+// deterministicNCA returns the ancestor switch the deterministic NextHop
+// ascent converges to for the pair (src, dst).
+func (t *KAryNTree) deterministicNCA(src, dst NodeID) RouterID {
+	r, _ := t.TerminalAttach(src)
+	for !t.IsAncestor(r, dst) {
+		p := t.NextHop(r, dst)
+		peer := t.PortPeer(r, p)
+		r = peer.Router
+	}
+	return r
+}

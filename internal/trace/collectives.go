@@ -1,0 +1,148 @@
+package trace
+
+import "prdrb/internal/network"
+
+// Collective lowering. The replay engine only understands point-to-point
+// events, so collectives are expanded here onto the standard algorithms:
+// binomial trees for Bcast/Reduce, recursive doubling for Allreduce on
+// power-of-two communicators (Reduce+Bcast otherwise), and a 0-byte
+// Allreduce for Barrier. All lowered events keep the collective's MPI type
+// in their packets, so routers and the phase analysis still see "Allreduce
+// traffic" (§3.3.1 MPI_type).
+//
+// Every lowering appends to ALL ranks, so callers must emit collectives at
+// an SPMD phase boundary — which is how the workload generators are
+// structured.
+
+// isPow2 reports whether v is a power of two.
+func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// Bcast lowers MPI_Bcast from root over all ranks with a binomial tree.
+func (b *Builder) Bcast(root, bytes int) {
+	n := b.tr.Ranks
+	b.count(network.MPIBcast, int64(n))
+	b.bcastEvents(root, bytes, network.MPIBcast)
+}
+
+// bcastEvents emits binomial-tree events tagged with mpiType.
+// Ranks are renumbered relative to root: vrank = (rank - root) mod n.
+func (b *Builder) bcastEvents(root, bytes int, mpiType uint8) {
+	n := b.tr.Ranks
+	abs := func(v int) int { return (v + root) % n }
+	// Highest power of two >= n.
+	for mask := 1; mask < n; mask <<= 1 {
+		for v := 0; v < n; v++ {
+			if v&(mask-1) != 0 {
+				continue // not yet reached in earlier rounds
+			}
+			peer := v | mask
+			if peer >= n {
+				continue
+			}
+			if v&mask == 0 {
+				b.push(abs(v), Event{Op: OpSend, Peer: abs(peer), Bytes: bytes, MPIType: mpiType})
+				b.push(abs(peer), Event{Op: OpRecv, Peer: abs(v), MPIType: mpiType})
+			}
+		}
+	}
+}
+
+// Reduce lowers MPI_Reduce toward root with the mirror binomial tree.
+func (b *Builder) Reduce(root, bytes int) {
+	n := b.tr.Ranks
+	b.count(network.MPIReduce, int64(n))
+	b.reduceEvents(root, bytes, network.MPIReduce)
+}
+
+func (b *Builder) reduceEvents(root, bytes int, mpiType uint8) {
+	n := b.tr.Ranks
+	abs := func(v int) int { return (v + root) % n }
+	// Largest round first: the reverse of the bcast tree.
+	top := 1
+	for top < n {
+		top <<= 1
+	}
+	for mask := top >> 1; mask >= 1; mask >>= 1 {
+		for v := 0; v < n; v++ {
+			if v&(mask-1) != 0 {
+				continue
+			}
+			peer := v | mask
+			if peer >= n || v&mask != 0 {
+				continue
+			}
+			b.push(abs(peer), Event{Op: OpSend, Peer: abs(v), Bytes: bytes, MPIType: mpiType})
+			b.push(abs(v), Event{Op: OpRecv, Peer: abs(peer), MPIType: mpiType})
+		}
+	}
+}
+
+// Allreduce lowers MPI_Allreduce: recursive doubling on power-of-two
+// communicators (log2(n) rounds of pairwise exchanges — the heavy
+// all-to-all-ish load POP and LAMMPS put on the fabric), otherwise
+// Reduce to 0 followed by Bcast.
+func (b *Builder) Allreduce(bytes int) {
+	n := b.tr.Ranks
+	b.count(network.MPIAllreduce, int64(n))
+	b.allreduceEvents(bytes, network.MPIAllreduce)
+}
+
+func (b *Builder) allreduceEvents(bytes int, mpiType uint8) {
+	n := b.tr.Ranks
+	if !isPow2(n) {
+		b.reduceEvents(0, bytes, mpiType)
+		b.bcastEvents(0, bytes, mpiType)
+		return
+	}
+	for mask := 1; mask < n; mask <<= 1 {
+		for v := 0; v < n; v++ {
+			peer := v ^ mask
+			// Symmetric exchange, overlapped in both directions.
+			b.push(v, Event{Op: OpIsend, Peer: peer, Bytes: bytes, MPIType: mpiType})
+			b.push(v, Event{Op: OpIrecv, Peer: peer, MPIType: mpiType})
+			b.push(v, Event{Op: OpWaitall, MPIType: mpiType})
+		}
+	}
+}
+
+// Barrier lowers MPI_Barrier as a zero-byte Allreduce.
+func (b *Builder) Barrier() {
+	n := b.tr.Ranks
+	b.count(network.MPIBarrier, int64(n))
+	b.allreduceEvents(0, network.MPIBarrier)
+}
+
+// Alltoall lowers MPI_Alltoall (the transpose step of FFT codes like NAS
+// FT) with the pairwise-exchange algorithm: n-1 steps; at step s every
+// rank exchanges its block with partner rank^s (power-of-two ranks) or
+// (rank+s) mod n otherwise. bytesPerPair is the block each pair swaps.
+func (b *Builder) Alltoall(bytesPerPair int) {
+	n := b.tr.Ranks
+	b.count(network.MPIAlltoall, int64(n))
+	pow2 := isPow2(n)
+	for s := 1; s < n; s++ {
+		for r := 0; r < n; r++ {
+			var peer int
+			if pow2 {
+				peer = r ^ s
+			} else {
+				peer = (r + s) % n
+			}
+			if peer == r {
+				continue
+			}
+			b.push(r, Event{Op: OpIsend, Peer: peer, Bytes: bytesPerPair, MPIType: network.MPIAlltoall})
+			b.push(r, Event{Op: OpIrecv, Peer: recvPeer(r, s, n, pow2), MPIType: network.MPIAlltoall})
+			b.push(r, Event{Op: OpWaitall, MPIType: network.MPIAlltoall})
+		}
+	}
+}
+
+// recvPeer is the rank whose step-s send targets r: with XOR pairing it is
+// r^s (symmetric); with ring shifts it is (r-s+n) mod n.
+func recvPeer(r, s, n int, pow2 bool) int {
+	if pow2 {
+		return r ^ s
+	}
+	return (r - s + n) % n
+}

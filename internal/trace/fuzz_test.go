@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace: the trace parser must never panic on arbitrary input, and
+// any trace it accepts must serialize and re-parse identically.
+func FuzzReadTrace(f *testing.F) {
+	b := NewBuilder("seed", 4)
+	b.Compute(0, 100)
+	b.Send(0, 1, 2048)
+	b.Recv(1, 0)
+	b.Allreduce(64)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, b.Build()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("prdrb-trace 1\nranks 2\nrank 0\nc 5\n")
+	f.Add("")
+	f.Add("prdrb-trace 1\nranks 999999999\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := ReadTrace(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteTrace(&out, tr); err != nil {
+			t.Fatalf("accepted trace does not serialize: %v", err)
+		}
+		tr2, err := ReadTrace(&out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if tr2.Ranks != tr.Ranks || tr2.TotalEvents() != tr.TotalEvents() {
+			t.Fatal("unstable trace round trip")
+		}
+	})
+}

@@ -1,0 +1,339 @@
+package trace
+
+import (
+	"fmt"
+
+	"prdrb/internal/network"
+	"prdrb/internal/sim"
+	"prdrb/internal/topology"
+)
+
+// blockKind says why a rank's state machine is not advancing.
+type blockKind uint8
+
+const (
+	notBlocked blockKind = iota
+	blockedCompute
+	blockedWaitOne  // OpWait: oldest unretired request
+	blockedWaitAll  // OpWaitall: every unretired request
+	blockedWaitSend // OpSend's implicit request (retired out of order)
+)
+
+// request is an outstanding nonblocking operation.
+type request struct {
+	isRecv bool
+	src    int // source rank for receives
+	done   bool
+}
+
+// rankState is one rank's replay FSM (the processing-node model of §4.1.1:
+// "read an input trace file and simulate the events").
+type rankState struct {
+	rank   int
+	pc     int
+	events []Event
+
+	// inbox counts arrived-but-unmatched messages per source rank (eager
+	// buffering).
+	inbox map[int]int
+	// reqs holds unretired requests in posting order.
+	reqs []*request
+
+	blocked  blockKind
+	sendWait *request // the blocking-send request (blockedWaitSend)
+
+	finished   bool
+	finishedAt sim.Time
+	mpiSeq     uint32
+}
+
+// Replay drives the network from a trace: blocking sends complete when the
+// message is fully delivered (rendezvous semantics), so application
+// execution time directly reflects network latency — the coupling behind
+// the paper's execution-time results (Figs 4.21b, 4.25b, 4.27b).
+type Replay struct {
+	Net   *network.Network
+	Trace *Trace
+	// Mapping maps rank -> terminal node; nil means identity placement.
+	Mapping []topology.NodeID
+
+	ranks     []*rankState
+	nodeRank  map[topology.NodeID]int
+	sendOwner map[uint64]*sendRef
+
+	startAt       sim.Time
+	finishedCount int
+	started       bool
+}
+
+type sendRef struct {
+	rank int
+	req  *request
+}
+
+// NewReplay prepares a replay of tr over net. The trace's rank count must
+// not exceed the network's terminals.
+func NewReplay(net *network.Network, tr *Trace, mapping []topology.NodeID) (*Replay, error) {
+	if tr.Ranks > net.Topo.NumTerminals() {
+		return nil, fmt.Errorf("trace: %d ranks exceed %d terminals", tr.Ranks, net.Topo.NumTerminals())
+	}
+	if mapping != nil && len(mapping) != tr.Ranks {
+		return nil, fmt.Errorf("trace: mapping has %d entries for %d ranks", len(mapping), tr.Ranks)
+	}
+	r := &Replay{
+		Net:       net,
+		Trace:     tr,
+		Mapping:   mapping,
+		nodeRank:  make(map[topology.NodeID]int, tr.Ranks),
+		sendOwner: make(map[uint64]*sendRef),
+	}
+	r.ranks = make([]*rankState, tr.Ranks)
+	for i := range r.ranks {
+		r.ranks[i] = &rankState{
+			rank:   i,
+			events: tr.Events[i],
+			inbox:  make(map[int]int),
+		}
+		r.nodeRank[r.node(i)] = i
+	}
+	// Hook message delivery on the participating NICs.
+	for i := 0; i < tr.Ranks; i++ {
+		net.NICs[r.node(i)].OnMessage = r.makeOnMessage(i)
+	}
+	return r, nil
+}
+
+// node maps a rank to its terminal.
+func (r *Replay) node(rank int) topology.NodeID {
+	if r.Mapping != nil {
+		return r.Mapping[rank]
+	}
+	return topology.NodeID(rank)
+}
+
+// Start begins replay at time at (schedules every rank's first step).
+func (r *Replay) Start(at sim.Time) {
+	if r.started {
+		panic("trace: replay started twice")
+	}
+	r.started = true
+	r.startAt = at
+	for _, rs := range r.ranks {
+		rs := rs
+		r.Net.Eng.Schedule(at, func(e *sim.Engine) { r.step(e, rs) })
+	}
+}
+
+// Finished reports whether every rank completed its trace.
+func (r *Replay) Finished() bool { return r.finishedCount == len(r.ranks) }
+
+// ExecutionTime returns the wall time from Start to the last rank's finish.
+func (r *Replay) ExecutionTime() sim.Time {
+	var end sim.Time
+	for _, rs := range r.ranks {
+		if rs.finishedAt > end {
+			end = rs.finishedAt
+		}
+	}
+	return end - r.startAt
+}
+
+// Err reports stuck ranks after the engine has drained — a mismatched
+// trace (send without receive or vice versa) shows up here.
+func (r *Replay) Err() error {
+	if r.Finished() {
+		return nil
+	}
+	for _, rs := range r.ranks {
+		if !rs.finished {
+			ev := "end"
+			if rs.pc < len(rs.events) {
+				ev = rs.events[rs.pc].Op.String()
+			}
+			return fmt.Errorf("trace: rank %d stuck at pc=%d (%s), blocked=%d, %d reqs",
+				rs.rank, rs.pc, ev, rs.blocked, len(rs.reqs))
+		}
+	}
+	return nil
+}
+
+// step advances a rank until it blocks or finishes.
+func (r *Replay) step(e *sim.Engine, rs *rankState) {
+	rs.blocked = notBlocked
+	for rs.pc < len(rs.events) {
+		ev := &rs.events[rs.pc]
+		switch ev.Op {
+		case OpCompute:
+			rs.pc++
+			rs.blocked = blockedCompute
+			r.after(e, ev.Dur, rs)
+			return
+
+		case OpIsend:
+			rs.pc++
+			r.inject(e, rs, ev)
+
+		case OpSend:
+			rs.pc++
+			req := r.inject(e, rs, ev)
+			if req != nil && !req.done {
+				rs.blocked = blockedWaitSend
+				rs.sendWait = req
+				return
+			}
+			if req != nil {
+				rs.retire(req)
+			}
+
+		case OpIrecv:
+			rs.pc++
+			req := &request{isRecv: true, src: ev.Peer}
+			if rs.inbox[ev.Peer] > 0 {
+				rs.inbox[ev.Peer]--
+				req.done = true
+			}
+			rs.reqs = append(rs.reqs, req)
+
+		case OpRecv:
+			// A blocking receive is Irecv + wait-for-that-request; express
+			// it through the same queue so message matching stays in
+			// posting order.
+			req := &request{isRecv: true, src: ev.Peer}
+			if rs.inbox[ev.Peer] > 0 {
+				rs.inbox[ev.Peer]--
+				req.done = true
+				rs.pc++
+				continue
+			}
+			rs.reqs = append(rs.reqs, req)
+			rs.pc++
+			rs.blocked = blockedWaitSend // identical semantics: one request
+			rs.sendWait = req
+			return
+
+		case OpWait:
+			if len(rs.reqs) == 0 {
+				rs.pc++
+				continue
+			}
+			if rs.reqs[0].done {
+				rs.reqs = rs.reqs[1:]
+				rs.pc++
+				continue
+			}
+			rs.pc++
+			rs.blocked = blockedWaitOne
+			return
+
+		case OpWaitall:
+			if rs.allDone() {
+				rs.reqs = rs.reqs[:0]
+				rs.pc++
+				continue
+			}
+			rs.pc++
+			rs.blocked = blockedWaitAll
+			return
+
+		default:
+			panic(fmt.Sprintf("trace: rank %d: unloweable op %v at pc %d", rs.rank, ev.Op, rs.pc))
+		}
+	}
+	if !rs.finished {
+		rs.finished = true
+		rs.finishedAt = e.Now()
+		r.finishedCount++
+	}
+}
+
+func (rs *rankState) allDone() bool {
+	for _, q := range rs.reqs {
+		if !q.done {
+			return false
+		}
+	}
+	return true
+}
+
+// retire removes a specific request (blocking sends complete out of order).
+func (rs *rankState) retire(req *request) {
+	for i, q := range rs.reqs {
+		if q == req {
+			rs.reqs = append(rs.reqs[:i], rs.reqs[i+1:]...)
+			return
+		}
+	}
+}
+
+// inject sends the event's message and registers the send request.
+func (r *Replay) inject(e *sim.Engine, rs *rankState, ev *Event) *request {
+	if ev.Peer == rs.rank {
+		panic(fmt.Sprintf("trace: rank %d sends to itself", rs.rank))
+	}
+	req := &request{}
+	rs.reqs = append(rs.reqs, req)
+	rs.mpiSeq++
+	msgID := r.Net.NICs[r.node(rs.rank)].Send(e, r.node(ev.Peer), ev.Bytes, ev.MPIType, rs.mpiSeq)
+	r.sendOwner[msgID] = &sendRef{rank: rs.rank, req: req}
+	return req
+}
+
+func (r *Replay) after(e *sim.Engine, d sim.Time, rs *rankState) {
+	e.After(d, func(e *sim.Engine) { r.step(e, rs) })
+}
+
+// makeOnMessage builds the delivery hook for one receiving rank: it
+// completes the sender's request (the message is fully delivered — the
+// rendezvous completion) and matches the receiver's posted receives.
+func (r *Replay) makeOnMessage(dstRank int) network.MessageHandler {
+	return func(e *sim.Engine, srcNode topology.NodeID, msgID uint64, bytes int, mpiType uint8, seq uint32) {
+		if ref, ok := r.sendOwner[msgID]; ok {
+			delete(r.sendOwner, msgID)
+			ref.req.done = true
+			r.poke(e, r.ranks[ref.rank])
+		}
+		srcRank, ok := r.nodeRank[srcNode]
+		if !ok {
+			return
+		}
+		rs := r.ranks[dstRank]
+		// Match the oldest incomplete posted receive from srcRank.
+		for _, q := range rs.reqs {
+			if q.isRecv && !q.done && q.src == srcRank {
+				q.done = true
+				r.poke(e, rs)
+				return
+			}
+		}
+		rs.inbox[srcRank]++
+	}
+}
+
+// poke re-checks a blocked rank's condition and resumes it when satisfied.
+func (r *Replay) poke(e *sim.Engine, rs *rankState) {
+	switch rs.blocked {
+	case blockedWaitSend:
+		if rs.sendWait != nil && rs.sendWait.done {
+			rs.retire(rs.sendWait)
+			rs.sendWait = nil
+			r.resume(e, rs)
+		}
+	case blockedWaitOne:
+		if len(rs.reqs) > 0 && rs.reqs[0].done {
+			rs.reqs = rs.reqs[1:]
+			r.resume(e, rs)
+		}
+	case blockedWaitAll:
+		if rs.allDone() {
+			rs.reqs = rs.reqs[:0]
+			r.resume(e, rs)
+		}
+	}
+}
+
+func (r *Replay) resume(e *sim.Engine, rs *rankState) {
+	rs.blocked = notBlocked
+	// Resume via a fresh event: poke runs inside a delivery callback and a
+	// long chain of resumes would otherwise recurse.
+	e.After(0, func(e *sim.Engine) { r.step(e, rs) })
+}

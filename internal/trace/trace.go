@@ -1,0 +1,195 @@
+// Package trace implements the logical-trace machinery of the paper's
+// application-aware evaluation (§4.7, Fig 4.19): an MPI-style event
+// vocabulary, a builder that workload generators use to emit per-rank
+// traces (with collectives lowered onto point-to-point algorithms), and a
+// replay engine that drives the network simulator from the traces — "each
+// node in the network reads an input trace file and simulates the events"
+// — preserving the logical dependencies between communication calls that
+// physical traces lack (§5.1 "Original DRB Extended").
+package trace
+
+import (
+	"fmt"
+
+	"prdrb/internal/network"
+	"prdrb/internal/sim"
+)
+
+// Op is a logical trace operation.
+type Op uint8
+
+// Trace operations. Collectives never appear in final traces — the Builder
+// lowers them — but Compute and the point-to-point five are replayed
+// directly.
+const (
+	OpCompute Op = iota
+	OpSend       // blocking send: completes when the message is delivered
+	OpIsend      // nonblocking send: registers a request
+	OpRecv       // blocking receive from a specific rank
+	OpIrecv      // nonblocking receive: registers a request
+	OpWait       // waits for the oldest incomplete request
+	OpWaitall    // waits for every outstanding request
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpCompute:
+		return "compute"
+	case OpSend:
+		return "send"
+	case OpIsend:
+		return "isend"
+	case OpRecv:
+		return "recv"
+	case OpIrecv:
+		return "irecv"
+	case OpWait:
+		return "wait"
+	case OpWaitall:
+		return "waitall"
+	}
+	return "?"
+}
+
+// Event is one per-rank trace entry.
+type Event struct {
+	Op    Op
+	Peer  int      // counterpart rank for sends/receives
+	Bytes int      // message size
+	Dur   sim.Time // compute duration
+	// MPIType tags the packet headers with the *logical* MPI call the event
+	// was lowered from (e.g. a send belonging to an Allreduce), feeding the
+	// §3.3.1 MPI_type field and the phase analysis.
+	MPIType uint8
+}
+
+// Trace is a complete per-rank event program.
+type Trace struct {
+	Ranks  int
+	Events [][]Event
+	// CallMix counts the *logical* MPI calls the application made (Table
+	// 2.1's breakdown), before collective lowering.
+	CallMix map[uint8]int64
+	// Name labels the workload.
+	Name string
+}
+
+// TotalEvents sums the lowered event counts across ranks.
+func (t *Trace) TotalEvents() int {
+	n := 0
+	for _, evs := range t.Events {
+		n += len(evs)
+	}
+	return n
+}
+
+// CallShare returns the fraction of logical calls with the given MPI type —
+// the percentages of Table 2.1.
+func (t *Trace) CallShare(mpiType uint8) float64 {
+	var total, match int64
+	for ty, n := range t.CallMix {
+		total += n
+		if ty == mpiType {
+			match += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(match) / float64(total)
+}
+
+// Builder assembles traces rank by rank and lowers collectives. All the
+// workload generators in internal/workloads emit through it.
+type Builder struct {
+	tr *Trace
+}
+
+// NewBuilder starts a trace for the given number of ranks.
+func NewBuilder(name string, ranks int) *Builder {
+	if ranks < 2 {
+		panic(fmt.Sprintf("trace: need >= 2 ranks, got %d", ranks))
+	}
+	return &Builder{tr: &Trace{
+		Ranks:   ranks,
+		Events:  make([][]Event, ranks),
+		CallMix: make(map[uint8]int64),
+		Name:    name,
+	}}
+}
+
+// Build returns the finished trace.
+func (b *Builder) Build() *Trace { return b.tr }
+
+// Ranks returns the trace's rank count.
+func (b *Builder) Ranks() int { return b.tr.Ranks }
+
+func (b *Builder) push(rank int, ev Event) {
+	if rank < 0 || rank >= b.tr.Ranks {
+		panic(fmt.Sprintf("trace: rank %d out of range", rank))
+	}
+	b.tr.Events[rank] = append(b.tr.Events[rank], ev)
+}
+
+func (b *Builder) count(mpiType uint8, n int64) { b.tr.CallMix[mpiType] += n }
+
+// Compute appends a local computation of duration d on rank.
+func (b *Builder) Compute(rank int, d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	b.push(rank, Event{Op: OpCompute, Dur: d})
+}
+
+// Send appends a blocking send (MPI_Send) from rank to to.
+func (b *Builder) Send(rank, to, bytes int) {
+	b.count(network.MPISend, 1)
+	b.push(rank, Event{Op: OpSend, Peer: to, Bytes: bytes, MPIType: network.MPISend})
+}
+
+// Recv appends a blocking receive (MPI_Recv) on rank from from.
+func (b *Builder) Recv(rank, from int) {
+	b.count(network.MPIRecv, 1)
+	b.push(rank, Event{Op: OpRecv, Peer: from, MPIType: network.MPIRecv})
+}
+
+// Isend appends a nonblocking send (MPI_Isend); pair with Wait/Waitall.
+func (b *Builder) Isend(rank, to, bytes int) {
+	b.count(network.MPIIsend, 1)
+	b.push(rank, Event{Op: OpIsend, Peer: to, Bytes: bytes, MPIType: network.MPIIsend})
+}
+
+// Irecv appends a nonblocking receive (MPI_Irecv); pair with Wait/Waitall.
+func (b *Builder) Irecv(rank, from int) {
+	b.count(network.MPIIrecv, 1)
+	b.push(rank, Event{Op: OpIrecv, Peer: from, MPIType: network.MPIIrecv})
+}
+
+// IrecvQuiet appends a nonblocking receive without counting a logical
+// MPI_Irecv call: it models persistent pre-posted requests
+// (MPI_Recv_init/MPI_Startall), which is why Table 2.1 shows 0% MPI_Irecv
+// for POP, MG and LAMMPS while their Wait/Waitall counts match their sends.
+func (b *Builder) IrecvQuiet(rank, from int) {
+	b.push(rank, Event{Op: OpIrecv, Peer: from, MPIType: network.MPIIrecv})
+}
+
+// Wait appends MPI_Wait for the oldest incomplete request on rank.
+func (b *Builder) Wait(rank int) {
+	b.count(network.MPIWait, 1)
+	b.push(rank, Event{Op: OpWait, MPIType: network.MPIWait})
+}
+
+// Waitall appends MPI_Waitall for every outstanding request on rank.
+func (b *Builder) Waitall(rank int) {
+	b.count(network.MPIWaitall, 1)
+	b.push(rank, Event{Op: OpWaitall, MPIType: network.MPIWaitall})
+}
+
+// Sendrecv appends a combined exchange (MPI_Sendrecv) lowered onto
+// Isend+Irecv+Waitall so the two directions overlap.
+func (b *Builder) Sendrecv(rank, to, from, bytes int) {
+	b.count(network.MPISendrecv, 1)
+	b.push(rank, Event{Op: OpIsend, Peer: to, Bytes: bytes, MPIType: network.MPISendrecv})
+	b.push(rank, Event{Op: OpIrecv, Peer: from, MPIType: network.MPISendrecv})
+	b.push(rank, Event{Op: OpWaitall, MPIType: network.MPISendrecv})
+}
