@@ -101,21 +101,29 @@ func ablTail(ctx *runCtx, w io.Writer) error {
 	type row struct{ mean, p50, p99 float64 }
 	rows := map[prdrb.Policy]row{}
 	for _, p := range []prdrb.Policy{prdrb.PolicyDeterministic, prdrb.PolicyDRB, prdrb.PolicyPRDRB} {
+		type one struct {
+			res prdrb.Results
+			err error
+		}
 		var r row
-		for _, seed := range ctx.seeds {
+		for _, o := range parMap(ctx.seeds, func(seed uint64) one {
 			s := prdrb.MustNewSim(prdrb.Experiment{Topology: prdrb.FatTree(4, 3), Policy: p, Seed: seed})
 			end, err := s.InstallBursts(prdrb.BurstSpec{
 				Pattern: "shuffle", RateMbps: 900,
 				Len: 250 * prdrb.Microsecond, Gap: 300 * prdrb.Microsecond, Count: 6,
 			})
 			if err != nil {
-				return err
+				return one{err: err}
 			}
-			res := s.Execute(end + prdrb.Second)
+			return one{res: s.Execute(end + prdrb.Second)}
+		}) {
+			if o.err != nil {
+				return o.err
+			}
 			n := float64(len(ctx.seeds))
-			r.mean += res.GlobalLatencyUs / n
-			r.p50 += res.P50Us / n
-			r.p99 += res.P99Us / n
+			r.mean += o.res.GlobalLatencyUs / n
+			r.p50 += o.res.P50Us / n
+			r.p99 += o.res.P99Us / n
 		}
 		rows[p] = r
 		fmt.Fprintf(w, "%-14s %10.2f %10.2f %10.2f\n", p, r.mean, r.p50, r.p99)
@@ -187,20 +195,28 @@ func ablTopology(ctx *runCtx, w io.Writer) error {
 	for _, tc := range topos {
 		var lats [2]float64
 		for i, pol := range []prdrb.Policy{prdrb.PolicyDeterministic, prdrb.PolicyPRDRB} {
-			for _, seed := range ctx.seeds {
+			type one struct {
+				res prdrb.Results
+				err error
+			}
+			for _, o := range parMap(ctx.seeds, func(seed uint64) one {
 				s := prdrb.MustNewSim(prdrb.Experiment{Topology: tc.topo, Policy: pol, Seed: seed})
 				end, err := s.InstallBursts(prdrb.BurstSpec{
 					Pattern: "transpose", RateMbps: 700,
 					Len: 250 * prdrb.Microsecond, Gap: 300 * prdrb.Microsecond, Count: 6,
 				})
 				if err != nil {
-					return err
+					return one{err: err}
 				}
-				res := s.Execute(end + prdrb.Second)
-				if res.AcceptedRatio != 1 {
+				return one{res: s.Execute(end + prdrb.Second)}
+			}) {
+				if o.err != nil {
+					return o.err
+				}
+				if o.res.AcceptedRatio != 1 {
 					return fmt.Errorf("%s/%s lost traffic", tc.name, pol)
 				}
-				lats[i] += res.GlobalLatencyUs / float64(len(ctx.seeds))
+				lats[i] += o.res.GlobalLatencyUs / float64(len(ctx.seeds))
 			}
 		}
 		fmt.Fprintf(w, "%-18s %14.2f %14.2f %9.1f%%\n", tc.name, lats[0], lats[1], prdrb.GainPct(lats[0], lats[1]))

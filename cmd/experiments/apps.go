@@ -81,8 +81,9 @@ func appIters(ctx *runCtx, full int) int {
 // set (§4.3), returning also the last outcome for stats fields.
 func runAppAvg(ctx *runCtx, app string, policy prdrb.Policy, opt prdrb.WorkloadOptions) (lat, exec float64, last appOutcome) {
 	n := float64(len(ctx.seeds))
-	for _, seed := range ctx.seeds {
-		o := runApp(app, policy, seed, opt, 0)
+	for _, o := range parMap(ctx.seeds, func(seed uint64) appOutcome {
+		return runApp(app, policy, seed, opt, 0)
+	}) {
 		lat += o.res.GlobalLatencyUs / n
 		exec += o.exec.Micros() / n
 		last = o

@@ -29,8 +29,9 @@ func fig31(ctx *runCtx, w io.Writer) error {
 	series := map[prdrb.Policy][]float64{}
 	for _, p := range []prdrb.Policy{prdrb.PolicyDRB, prdrb.PolicyPRDRB} {
 		sum := make([]float64, count)
-		for _, seed := range ctx.seeds {
-			o := runBursts(p, "shuffle", 64, 900, count, seed)
+		for _, o := range parMap(ctx.seeds, func(seed uint64) burstOutcome {
+			return runBursts(p, "shuffle", 64, 900, count, seed)
+		}) {
 			for b := range sum {
 				sum[b] += o.perBurst[b] / float64(len(ctx.seeds))
 			}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parMap runs f over items on a bounded worker pool (one worker per CPU,
+// at most one per item) and returns the results in input order.
+//
+// Every simulation in this harness is single-threaded and fully
+// determined by its Experiment (seed included), so fanning the per-seed
+// and per-sweep-point runs out across cores changes nothing observable:
+// callers receive the same results slice they would have built serially
+// and keep accumulating in input order, which preserves floating-point
+// summation order and therefore byte-identical reports.
+func parMap[T, R any](items []T, f func(T) R) []R {
+	out := make([]R, len(items))
+	workers := runtime.NumCPU()
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for i, it := range items {
+			out[i] = f(it)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = f(items[i])
+			}
+		}()
+	}
+	for i := range items {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"prdrb"
+)
+
+func init() {
+	register("abl.resilience", "Link-failure resilience: fault rate x routing policy", ablResilience)
+}
+
+// ablResilience extends the paper's evaluation beyond its OPNET traffic
+// perturbations: hard link failures. The paper's claim that distributing
+// load over multiple simultaneous paths also buys fault tolerance is
+// implicit in §3.2 (a metapath is a live set of alternatives); this
+// experiment makes it measurable. n random links fail mid-run (each
+// repaired after an MTTR); deterministic routing parks traffic on the
+// dead path until repair, while DRB/PR-DRB controllers detect the loss,
+// invalidate stale solutions and reselect healthy metapaths.
+//
+// The fault schedule is derived from (topology, seed, n) only, so all
+// three policies face byte-identical failures and traffic; the whole
+// table is reproducible from the seed list.
+func ablResilience(ctx *runCtx, w io.Writer) error {
+	faultCounts := []int{0, 2, 4, 8}
+	if ctx.quick {
+		faultCounts = []int{0, 4}
+	}
+	policies := []prdrb.Policy{prdrb.PolicyDeterministic, prdrb.PolicyDRB, prdrb.PolicyPRDRB}
+	// Faults hit at 200-300us and repair at 600-700us — after the traffic
+	// window closes, so a packet parked on a dead link cannot arrive
+	// "on time"; only rerouting can save it.
+	const (
+		faultStart  = 200 * prdrb.Microsecond
+		faultSpread = 100 * prdrb.Microsecond
+		mttr        = 400 * prdrb.Microsecond
+		trafficEnd  = 600 * prdrb.Microsecond
+	)
+
+	type cell struct {
+		n      int
+		policy prdrb.Policy
+		seed   uint64
+	}
+	type outcome struct {
+		onTime int64 // packets delivered before the traffic window closed
+		res    prdrb.Results
+	}
+	var cells []cell
+	for _, n := range faultCounts {
+		for _, p := range policies {
+			for _, seed := range ctx.seeds {
+				cells = append(cells, cell{n, p, seed})
+			}
+		}
+	}
+	outs := parMap(cells, func(c cell) outcome {
+		topo := prdrb.Mesh(8, 8)
+		s := prdrb.MustNewSim(prdrb.Experiment{Topology: topo, Policy: c.policy, Seed: c.seed})
+		if c.n > 0 {
+			plan := prdrb.RandomLinkFaults(topo, c.seed, c.n, faultStart, faultSpread, mttr)
+			if _, err := s.InstallFaults(plan); err != nil {
+				panic(err)
+			}
+		}
+		if err := s.InstallPattern(prdrb.PatternSpec{
+			Pattern: "uniform", RateMbps: 200, Start: 0, End: trafficEnd,
+		}); err != nil {
+			panic(err)
+		}
+		onTime := s.Execute(trafficEnd).DeliveredPkts
+		return outcome{onTime: onTime, res: s.Execute(prdrb.Second)}
+	})
+
+	fmt.Fprintf(w, "8x8 mesh, uniform 200 Mbps/node for 600us; n random link failures hit at\n")
+	fmt.Fprintf(w, "t=200-300us, each repaired 400us later (after the traffic window closes);\n")
+	fmt.Fprintf(w, "%d seeds averaged. Fault schedules are seed-derived and identical across\n", len(ctx.seeds))
+	fmt.Fprintf(w, "policies. \"on-time\" is the fraction of finally-delivered packets that\n")
+	fmt.Fprintf(w, "arrived before the window closed — packets parked on dead links until\n")
+	fmt.Fprintf(w, "repair miss it; only rerouting saves them.\n\n")
+	fmt.Fprintf(w, "%6s %-14s %11s %9s %8s %8s %8s %7s %12s\n",
+		"faults", "policy", "global(us)", "p99(us)", "on-time", "dropped", "unreach", "recov", "rec-p50(us)")
+
+	type avg struct {
+		glob, p99, onTime, drop, unreach, recov, recP50 float64
+	}
+	table := map[int]map[prdrb.Policy]avg{}
+	var csv [][]float64
+	k := 0
+	ns := float64(len(ctx.seeds))
+	for _, n := range faultCounts {
+		table[n] = map[prdrb.Policy]avg{}
+		for _, p := range policies {
+			var a avg
+			for range ctx.seeds {
+				o := outs[k]
+				k++
+				if o.res.DeliveredPkts > 0 {
+					a.onTime += float64(o.onTime) / float64(o.res.DeliveredPkts) / ns
+				}
+				a.glob += o.res.GlobalLatencyUs / ns
+				a.p99 += o.res.P99Us / ns
+				a.drop += float64(o.res.DroppedPkts) / ns
+				a.unreach += float64(o.res.UnreachableMsgs) / ns
+				a.recov += float64(o.res.Recoveries) / ns
+				a.recP50 += o.res.RecoveryP50Us / ns
+			}
+			table[n][p] = a
+			fmt.Fprintf(w, "%6d %-14s %11.2f %9.2f %8.3f %8.1f %8.1f %7.1f %12.2f\n",
+				n, p, a.glob, a.p99, a.onTime, a.drop, a.unreach, a.recov, a.recP50)
+		}
+		det, pr := table[n][prdrb.PolicyDeterministic], table[n][prdrb.PolicyPRDRB]
+		csv = append(csv, []float64{float64(n), det.glob, table[n][prdrb.PolicyDRB].glob, pr.glob,
+			det.onTime, pr.onTime, pr.recov, pr.recP50})
+		fmt.Fprintln(w)
+	}
+	if err := ctx.writeCSV("resilience",
+		[]string{"faults", "det_us", "drb_us", "prdrb_us", "det_ontime", "prdrb_ontime", "prdrb_recov", "prdrb_recp50_us"},
+		csv); err != nil {
+		return err
+	}
+
+	// The claims this table must support.
+	base := table[faultCounts[0]]
+	if d := base[prdrb.PolicyDeterministic].drop + base[prdrb.PolicyPRDRB].drop; faultCounts[0] == 0 && d != 0 {
+		return fmt.Errorf("fault-free runs dropped %.1f packets", d)
+	}
+	nMax := faultCounts[len(faultCounts)-1]
+	det, pr := table[nMax][prdrb.PolicyDeterministic], table[nMax][prdrb.PolicyPRDRB]
+	fmt.Fprintf(w, "at %d failures: global latency det %.2fus vs pr-drb %.2fus (%.1f%%); on-time\n",
+		nMax, det.glob, pr.glob, prdrb.GainPct(det.glob, pr.glob))
+	fmt.Fprintf(w, "delivery det %.3f vs pr-drb %.3f; pr-drb completed %.1f recovery cycles per run\n",
+		det.onTime, pr.onTime, pr.recov)
+	fmt.Fprintf(w, "(median time-to-recover %.2fus, i.e. detection + metapath reselection, orders\n", pr.recP50)
+	fmt.Fprintf(w, "below the 400us repair time deterministic routing must wait out).\n\n")
+	fmt.Fprintf(w, "drb and pr-drb coincide here: a single fault episode under uniform traffic\n")
+	fmt.Fprintf(w, "exercises the shared DRB recovery machinery but gives the solution database\n")
+	fmt.Fprintf(w, "no recurring pattern to reuse — prediction pays off across repeated episodes\n")
+	fmt.Fprintf(w, "(see the burst experiments), resilience comes from distribution itself.\n")
+	if pr.recov == 0 {
+		return fmt.Errorf("pr-drb recorded no recovery cycles under %d failures", nMax)
+	}
+	if pr.glob >= det.glob {
+		return fmt.Errorf("pr-drb (%.2fus) did not beat deterministic (%.2fus) under %d failures",
+			pr.glob, det.glob, nMax)
+	}
+	if pr.onTime < det.onTime {
+		return fmt.Errorf("pr-drb on-time delivery %.3f below deterministic %.3f under %d failures",
+			pr.onTime, det.onTime, nMax)
+	}
+	return nil
+}

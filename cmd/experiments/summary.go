@@ -22,10 +22,15 @@ func summaryReport(ctx *runCtx, w io.Writer) error {
 	count := 8
 	first, late := 0.0, 0.0
 	var detG, drbG, prG float64
-	for _, seed := range ctx.seeds {
-		det := runBursts(prdrb.PolicyDeterministic, "shuffle", 64, 900, count, seed)
-		drb := runBursts(prdrb.PolicyDRB, "shuffle", 64, 900, count, seed)
-		pr := runBursts(prdrb.PolicyPRDRB, "shuffle", 64, 900, count, seed)
+	type trio struct{ det, drb, pr burstOutcome }
+	for _, o := range parMap(ctx.seeds, func(seed uint64) trio {
+		return trio{
+			det: runBursts(prdrb.PolicyDeterministic, "shuffle", 64, 900, count, seed),
+			drb: runBursts(prdrb.PolicyDRB, "shuffle", 64, 900, count, seed),
+			pr:  runBursts(prdrb.PolicyPRDRB, "shuffle", 64, 900, count, seed),
+		}
+	}) {
+		det, drb, pr := o.det, o.drb, o.pr
 		n := float64(len(ctx.seeds))
 		first += prdrb.GainPct(drb.perBurst[0], pr.perBurst[0]) / n
 		late += prdrb.GainPct(drb.perBurst[count-1], pr.perBurst[count-1]) / n
@@ -43,11 +48,13 @@ func summaryReport(ctx *runCtx, w io.Writer) error {
 
 	// 2. Mesh hot-spot.
 	var meshDrb, meshPr float64
-	for _, seed := range ctx.seeds {
+	for _, o := range parMap(ctx.seeds, func(seed uint64) [2]float64 {
 		d := meshHotspot(prdrb.PolicyDRB, seed, 8)
-		meshDrb += d.Execute(prdrb.Second).GlobalLatencyUs / float64(len(ctx.seeds))
 		p := meshHotspot(prdrb.PolicyPRDRB, seed, 8)
-		meshPr += p.Execute(prdrb.Second).GlobalLatencyUs / float64(len(ctx.seeds))
+		return [2]float64{d.Execute(prdrb.Second).GlobalLatencyUs, p.Execute(prdrb.Second).GlobalLatencyUs}
+	}) {
+		meshDrb += o[0] / float64(len(ctx.seeds))
+		meshPr += o[1] / float64(len(ctx.seeds))
 	}
 	fmt.Fprintf(w, "2. 8x8 mesh hot-spot (Figs 4.10-4.12): drb %.1fus -> pr-drb %.1fus (%.1f%%)\n\n",
 		meshDrb, meshPr, prdrb.GainPct(meshDrb, meshPr))

@@ -74,9 +74,11 @@ func permutationFigure(ctx *runCtx, w io.Writer, pattern string, nodes int, rate
 		perBurst [][]float64
 	}
 	measure := func(p prdrb.Policy) agg {
+		outs := parMap(ctx.seeds, func(seed uint64) burstOutcome {
+			return runBursts(p, pattern, nodes, rate, count, seed)
+		})
 		var a agg
-		for _, seed := range ctx.seeds {
-			o := runBursts(p, pattern, nodes, rate, count, seed)
+		for _, o := range outs {
 			if o.res.AcceptedRatio != 1 {
 				panic(fmt.Sprintf("%s lost traffic", p))
 			}
@@ -220,15 +222,21 @@ func meshHotspotMap(ctx *runCtx, w io.Writer, policy prdrb.Policy) error {
 		// Contrast against DRB for the figure pair's claim, averaged over
 		// the seed set (single-run map peaks are noisy).
 		var drbPeak, prPeak, drbGlob, prGlob float64
-		for _, seed := range ctx.seeds {
+		type contrast struct{ drbPeak, drbGlob, prPeak, prGlob float64 }
+		for _, c := range parMap(ctx.seeds, func(seed uint64) contrast {
 			d := meshHotspot(prdrb.PolicyDRB, seed, bursts)
 			dres := d.Execute(prdrb.Second)
-			drbPeak += d.Map().Peak().AvgNs / 1e3 / float64(len(ctx.seeds))
-			drbGlob += dres.GlobalLatencyUs / float64(len(ctx.seeds))
 			p := meshHotspot(prdrb.PolicyPRDRB, seed, bursts)
 			pres := p.Execute(prdrb.Second)
-			prPeak += p.Map().Peak().AvgNs / 1e3 / float64(len(ctx.seeds))
-			prGlob += pres.GlobalLatencyUs / float64(len(ctx.seeds))
+			return contrast{
+				drbPeak: d.Map().Peak().AvgNs / 1e3, drbGlob: dres.GlobalLatencyUs,
+				prPeak: p.Map().Peak().AvgNs / 1e3, prGlob: pres.GlobalLatencyUs,
+			}
+		}) {
+			drbPeak += c.drbPeak / float64(len(ctx.seeds))
+			drbGlob += c.drbGlob / float64(len(ctx.seeds))
+			prPeak += c.prPeak / float64(len(ctx.seeds))
+			prGlob += c.prGlob / float64(len(ctx.seeds))
 		}
 		fmt.Fprintf(w, "vs DRB (%d-seed avg): peak %.2fus -> %.2fus (%.1f%%), global %.2fus -> %.2fus (%.1f%%)\n",
 			len(ctx.seeds), drbPeak, prPeak, prdrb.GainPct(drbPeak, prPeak),

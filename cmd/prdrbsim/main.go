@@ -47,6 +47,8 @@ func main() {
 		workload = flag.String("workload", "", "application trace: "+strings.Join(prdrb.WorkloadNames(), "|"))
 		iters    = flag.Int("iters", 10, "workload iterations")
 
+		faultSpec = flag.String("faults", "", "fault plan, e.g. 'link@500us:3.1+2ms, rand2@1ms+500us~2ms' (link@T:R.P[+repair], router@T:R[+repair], degrade@T:R.P*F[+dur], flap@T:R.P*N/period, randN@T[+spread][~mttr])")
+
 		traceIn   = flag.String("trace", "", "replay a serialized trace file instead of -workload/-pattern")
 		traceOut  = flag.String("save-trace", "", "write the generated workload trace to this file and exit")
 		knowIn    = flag.String("knowledge", "", "preload a PR-DRB solution database (JSON) before the run")
@@ -151,6 +153,7 @@ func main() {
 				duration: prdrb.Time((*duration).Nanoseconds()),
 				workload: *workload, iters: *iters,
 				trace: loadedTrace, knowledge: knowledge,
+				faults: *faultSpec,
 			})
 			if err != nil {
 				fatal(err)
@@ -173,6 +176,14 @@ func main() {
 			fmt.Printf(" exec=%10.1fus", e)
 		}
 		fmt.Println()
+		if *faultSpec != "" {
+			fmt.Printf("    faults: dropped=%d unreachable=%d pathFailures=%d recoveries=%d",
+				lastRes.DroppedPkts, lastRes.UnreachableMsgs, lastRes.Stats.PathFailures, lastRes.Recoveries)
+			if lastRes.Recoveries > 0 {
+				fmt.Printf(" recoveryP50=%.1fus p99=%.1fus", lastRes.RecoveryP50Us, lastRes.RecoveryP99Us)
+			}
+			fmt.Println()
+		}
 		if *verbose {
 			st := lastRes.Stats
 			fmt.Printf("    paths opened/closed %d/%d, patterns saved %d, reused %d (x%d), watchdog %d, acks %d\n",
@@ -211,6 +222,7 @@ type runSpec struct {
 	iters              int
 	trace              *prdrb.Trace
 	knowledge          *prdrb.Knowledge
+	faults             string
 }
 
 func runOnce(topo prdrb.Topology, policy prdrb.Policy, seed uint64, spec runSpec) (*prdrb.Sim, prdrb.Results, prdrb.Time, error) {
@@ -226,6 +238,15 @@ func runOnce(topo prdrb.Topology, policy prdrb.Policy, seed uint64, spec runSpec
 	}
 	if spec.knowledge != nil {
 		if err := s.ImportKnowledge(spec.knowledge); err != nil {
+			return nil, prdrb.Results{}, 0, err
+		}
+	}
+	if spec.faults != "" {
+		plan, err := s.ParseFaults(spec.faults)
+		if err != nil {
+			return nil, prdrb.Results{}, 0, err
+		}
+		if _, err := s.InstallFaults(plan); err != nil {
 			return nil, prdrb.Results{}, 0, err
 		}
 	}

@@ -25,6 +25,15 @@ type Stats struct {
 	// TrendFirings counts early reactions triggered by the latency-trend
 	// predictor (§5.2 extension).
 	TrendFirings int64
+	// PathFailures counts packet-loss notifications received from the
+	// fabric (a path died under our traffic).
+	PathFailures int64
+	// SolutionsInvalidated counts saved solutions discarded because their
+	// path set crossed a failed link.
+	SolutionsInvalidated int64
+	// Recoveries counts completed failure-to-recovery cycles (first
+	// successful ACK after a loss event).
+	Recoveries int64
 }
 
 // Add accumulates other into s (for fleet-wide aggregation).
@@ -38,6 +47,9 @@ func (s *Stats) Add(other Stats) {
 	s.AcksSeen += other.AcksSeen
 	s.PredictiveAcks += other.PredictiveAcks
 	s.TrendFirings += other.TrendFirings
+	s.PathFailures += other.PathFailures
+	s.SolutionsInvalidated += other.SolutionsInvalidated
+	s.Recoveries += other.Recoveries
 }
 
 // Controller is the per-source-node DRB / PR-DRB engine. It implements
@@ -52,6 +64,15 @@ type Controller struct {
 
 	mps map[topology.NodeID]*metapath
 	db  *SolutionDB
+
+	// PathCheck, when set, is the fabric's link-health feasibility
+	// predicate: it reports whether a multistep path currently traverses
+	// only live links. Path selection, opening and solution reuse filter
+	// through it. Nil means "always feasible" (healthy fabric).
+	PathCheck func(src, dst topology.NodeID, p topology.Path) bool
+	// OnRecovery, when set, observes each failure-to-recovery latency
+	// (loss notification -> next successful ACK for that destination).
+	OnRecovery func(d sim.Time)
 
 	Stats Stats
 }
@@ -111,7 +132,16 @@ func (c *Controller) PrepareInjection(e *sim.Engine, pkt *network.Packet) {
 		c.relax(mp)
 	}
 	mp.lastInject = e.Now()
-	p := mp.selectPath(&c.Cfg, c.rng)
+	p := mp.selectPath(&c.Cfg, c.rng, c.usableFilter(mp))
+	if c.PathCheck != nil && !c.PathCheck(c.Node, pkt.Dst, p.path) {
+		// Every open path crosses a failed link: the transport can see the
+		// injection is doomed before the fabric drops anything. React now —
+		// same actions as a loss notification — then reselect, which finds
+		// any feasible detour the reconfiguration just opened.
+		c.Stats.PathFailures++
+		c.pathLost(e, mp)
+		p = mp.selectPath(&c.Cfg, c.rng, c.usableFilter(mp))
+	}
 	pkt.Waypoints = append(topology.Path(nil), p.path...)
 	pkt.MSPIndex = p.id
 	mp.outstanding++
@@ -143,6 +173,15 @@ func (c *Controller) HandleAck(e *sim.Engine, ack *network.Packet) {
 	}
 
 	if ack.MSPIndex >= 0 {
+		if mp.failedAt != 0 {
+			// First successful delivery ACK after a loss: the metapath has
+			// recovered; report the end-to-end recovery latency.
+			c.Stats.Recoveries++
+			if c.OnRecovery != nil {
+				c.OnRecovery(e.Now() - mp.failedAt)
+			}
+			mp.failedAt = 0
+		}
 		mp.observe(&c.Cfg, ack.MSPIndex, ack.PathLatency)
 		if mp.outstanding > 0 {
 			mp.outstanding--
@@ -231,6 +270,74 @@ func (c *Controller) watchdogExpired(e *sim.Engine, dst topology.NodeID) {
 	mp.watchdog.Reset(c.Cfg.Watchdog)
 }
 
+// usableFilter adapts PathCheck to the metapath's path-state records; nil
+// when no health predicate is installed.
+func (c *Controller) usableFilter(mp *metapath) func(p *pathState) bool {
+	if c.PathCheck == nil {
+		return nil
+	}
+	return func(p *pathState) bool { return c.PathCheck(c.Node, mp.dst, p.path) }
+}
+
+// HandlePacketLoss implements network.FailureAware: a packet of ours died
+// on a failed link. This is the loss-of-ack signal treated as a HIGH-zone
+// event (the fabric itself told us the path is gone, stronger evidence
+// than any latency sample): the dead paths are pruned, saved solutions
+// that depend on them are invalidated, and the metapath reselects.
+func (c *Controller) HandlePacketLoss(e *sim.Engine, pkt *network.Packet) {
+	dst := pkt.Dst
+	if pkt.Type == network.AckPacket {
+		// A lost ACK was heading back to us; the metapath it reported on
+		// is the one toward the ACK's sender.
+		dst = pkt.Src
+	}
+	mp := c.metapathFor(dst)
+	c.Stats.PathFailures++
+	if mp.outstanding > 0 {
+		mp.outstanding--
+	}
+	c.pathLost(e, mp)
+}
+
+// pathLost runs the reconfiguration shared by the two failure signals
+// (in-flight drop, dead-path-at-injection): start the recovery clock,
+// prune dead paths, invalidate dependent saved solutions, rebuild the
+// candidate pool and force the H-zone actions.
+func (c *Controller) pathLost(e *sim.Engine, mp *metapath) {
+	if mp.failedAt == 0 {
+		mp.failedAt = e.Now()
+	}
+	c.pruneDeadPaths(mp)
+	if c.db != nil {
+		c.Stats.SolutionsInvalidated += int64(c.db.Invalidate(int(mp.dst), func(p topology.Path) bool {
+			return c.PathCheck == nil || c.PathCheck(c.Node, mp.dst, p)
+		}))
+	}
+	// The candidate pool predates the failure; rebuild it on demand so the
+	// reopened aperture only offers feasible detours.
+	mp.pool = nil
+	mp.poolInit = false
+	c.enterHigh(e, mp)
+}
+
+// pruneDeadPaths closes every alternative path that now crosses a failed
+// link. The direct path (index 0) is structural and never removed; when
+// infeasible it is simply excluded from selection.
+func (c *Controller) pruneDeadPaths(mp *metapath) {
+	if c.PathCheck == nil {
+		return
+	}
+	kept := mp.paths[:1]
+	for _, p := range mp.paths[1:] {
+		if c.PathCheck(c.Node, mp.dst, p.path) {
+			kept = append(kept, p)
+		} else {
+			c.Stats.PathsClosed++
+		}
+	}
+	mp.paths = kept
+}
+
 // maybeOpen grows the metapath by one alternative path (§3.2.3), respecting
 // MaxPaths and the open-rate limit. The interval is jittered ±25% per
 // decision: at scale, hundreds of controllers otherwise react to the same
@@ -250,11 +357,14 @@ func (c *Controller) maybeOpen(e *sim.Engine, mp *metapath) {
 		mp.pool = c.topo.AlternativePaths(c.Node, mp.dst, 2*c.Cfg.MaxPaths)
 		mp.poolInit = true
 	}
-	// Skip candidates already open.
+	// Skip candidates already open or currently infeasible (failed links).
 	for len(mp.pool) > 0 {
 		cand := mp.pool[0]
 		mp.pool = mp.pool[1:]
 		if mp.hasPath(cand) {
+			continue
+		}
+		if c.PathCheck != nil && !c.PathCheck(c.Node, mp.dst, cand) {
 			continue
 		}
 		direct := topology.PathLength(c.topo, c.Node, mp.dst, nil)
@@ -308,6 +418,7 @@ func (c *Controller) relax(mp *metapath) {
 	mp.poolInit = false
 	mp.lastOpen = 0
 	mp.outstanding = 0
+	mp.failedAt = 0
 	mp.trend = trendTracker{}
 }
 
@@ -321,6 +432,20 @@ func (c *Controller) maybeClose(mp *metapath) {
 	for i := 1; i < len(mp.paths); i++ {
 		if mp.paths[i].latNs > worstLat {
 			worst, worstLat = i, mp.paths[i].latNs
+		}
+	}
+	// Never strand the metapath: with the direct path dead, the relaxation
+	// that follows each recovered ACK would otherwise close the one feasible
+	// detour and re-fail on the next injection, forever.
+	if c.PathCheck != nil {
+		usableLeft := 0
+		for i := range mp.paths {
+			if i != worst && c.PathCheck(c.Node, mp.dst, mp.paths[i].path) {
+				usableLeft++
+			}
+		}
+		if usableLeft == 0 {
+			return
 		}
 	}
 	mp.paths = append(mp.paths[:worst], mp.paths[worst+1:]...)
@@ -352,6 +477,15 @@ func (c *Controller) tryReuse(e *sim.Engine, mp *metapath) bool {
 	sol := c.db.Lookup(int(mp.dst), sig, c.Cfg.Similarity)
 	if sol == nil {
 		return false
+	}
+	if c.PathCheck != nil {
+		// A saved solution is only as good as its links: one that crosses
+		// a failed link must not be re-applied wholesale.
+		for i := range sol.paths {
+			if !c.PathCheck(c.Node, mp.dst, sol.paths[i].path) {
+				return false
+			}
+		}
 	}
 	mp.restore(sol.paths)
 	mp.lastOpen = e.Now()
@@ -415,12 +549,18 @@ func (c *Controller) Paths(dst topology.NodeID) []topology.Path {
 }
 
 // Install builds one controller per node over net, all sharing cfg, and
-// returns them. rngSeed derives per-node streams.
+// returns them. rngSeed derives per-node streams. Controllers are wired to
+// the fabric's link-health predicate and the collector's recovery
+// histogram, making them fault-aware.
 func Install(net *network.Network, cfg Config, rngSeed uint64) []*Controller {
 	ctls := make([]*Controller, net.Topo.NumTerminals())
 	root := sim.NewRNG(rngSeed)
 	net.SetSourceController(func(node topology.NodeID) network.SourceController {
 		ctl := New(node, net.Topo, net.Eng, cfg, root.Split(uint64(node)+1))
+		ctl.PathCheck = net.PathUsable
+		if net.Collector != nil {
+			ctl.OnRecovery = net.Collector.PathRecovered
+		}
 		ctls[node] = ctl
 		return ctl
 	})
@@ -438,7 +578,10 @@ func AggregateStats(ctls []*Controller) Stats {
 	return s
 }
 
-var _ network.SourceController = (*Controller)(nil)
+var (
+	_ network.SourceController = (*Controller)(nil)
+	_ network.FailureAware     = (*Controller)(nil)
+)
 
 func init() {
 	// Compile-time-ish sanity: the names must match ConfigByName.

@@ -85,7 +85,7 @@ func TestSelectionPDF(t *testing.T) {
 	counts := map[int]int{}
 	const n = 30000
 	for i := 0; i < n; i++ {
-		counts[mp.selectPath(&cfg, rng).id]++
+		counts[mp.selectPath(&cfg, rng, nil).id]++
 	}
 	// Expected shares: (1/10k)/(1/10k+1/30k)=0.75 vs 0.25.
 	got := float64(counts[0]) / n
@@ -103,7 +103,7 @@ func TestSelectionPrefersShorterPaths(t *testing.T) {
 	rng := sim.NewRNG(7)
 	counts := map[int]int{}
 	for i := 0; i < 20000; i++ {
-		counts[mp.selectPath(&cfg, rng).id]++
+		counts[mp.selectPath(&cfg, rng, nil).id]++
 	}
 	if counts[1] >= counts[0] {
 		t.Fatalf("longer path selected as often: %v", counts)

@@ -65,6 +65,10 @@ type metapath struct {
 	outstanding int
 	watchdog    *sim.Timer
 
+	// failedAt is the time of the first unacknowledged loss notification,
+	// zero once the next successful ACK closes the recovery window.
+	failedAt sim.Time
+
 	// trend holds the L(MP) history for the §5.2 trend predictor.
 	trend trendTracker
 }
@@ -112,22 +116,41 @@ func (p *pathState) weight(cfg *Config) float64 {
 }
 
 // selectPath draws a path index from the Eq 3.6 probability density.
-func (mp *metapath) selectPath(cfg *Config, rng *sim.RNG) *pathState {
+// usable, when non-nil, excludes paths that currently cross failed links;
+// if every path is excluded the unfiltered draw applies (the packet will
+// be lost and the loss notification drives reconfiguration).
+func (mp *metapath) selectPath(cfg *Config, rng *sim.RNG, usable func(p *pathState) bool) *pathState {
 	if len(mp.paths) == 1 {
 		return &mp.paths[0]
 	}
 	total := 0.0
+	feasible := 0
 	for i := range mp.paths {
+		if usable != nil && !usable(&mp.paths[i]) {
+			continue
+		}
+		feasible++
 		total += mp.paths[i].weight(cfg)
 	}
-	x := rng.Float64() * total
-	for i := range mp.paths {
-		x -= mp.paths[i].weight(cfg)
-		if x <= 0 {
-			return &mp.paths[i]
+	if feasible == 0 {
+		usable = nil
+		for i := range mp.paths {
+			total += mp.paths[i].weight(cfg)
 		}
 	}
-	return &mp.paths[len(mp.paths)-1]
+	x := rng.Float64() * total
+	last := &mp.paths[0]
+	for i := range mp.paths {
+		if usable != nil && !usable(&mp.paths[i]) {
+			continue
+		}
+		last = &mp.paths[i]
+		x -= mp.paths[i].weight(cfg)
+		if x <= 0 {
+			return last
+		}
+	}
+	return last
 }
 
 // byID finds a path by its stable identifier; nil if it has been closed.

@@ -5,6 +5,7 @@ import (
 
 	"prdrb/internal/network"
 	"prdrb/internal/sim"
+	"prdrb/internal/topology"
 )
 
 // Signature is a normalized (sorted, deduplicated) contending-flow pattern
@@ -116,6 +117,37 @@ func (db *SolutionDB) Save(dst int, sig Signature, paths []pathState, minSim flo
 	}
 	db.perDst[dst] = lst
 	return s
+}
+
+// Invalidate removes every solution for dst whose path set contains a path
+// rejected by usable (a path crossing a failed link). A stale solution is
+// worse than none: re-applying it would aim traffic straight at the dead
+// link. It returns the number of solutions removed.
+func (db *SolutionDB) Invalidate(dst int, usable func(p topology.Path) bool) int {
+	lst := db.perDst[dst]
+	kept := lst[:0]
+	removed := 0
+	for _, s := range lst {
+		ok := true
+		for i := range s.paths {
+			if !usable(s.paths[i].path) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, s)
+		} else {
+			removed++
+		}
+	}
+	if removed > 0 {
+		db.perDst[dst] = kept
+		if len(kept) == 0 {
+			delete(db.perDst, dst)
+		}
+	}
+	return removed
 }
 
 // Size returns the number of saved solutions across destinations.

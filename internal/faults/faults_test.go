@@ -1,0 +1,263 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"prdrb/internal/sim"
+	"prdrb/internal/topology"
+)
+
+func TestRandomLinkFaultsDeterministic(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	a := RandomLinkFaults(topo, 7, 5, 1000, 500, 2000)
+	b := RandomLinkFaults(topo, 7, 5, 1000, 500, 2000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different plans:\n%v\n%v", a.Events, b.Events)
+	}
+	c := RandomLinkFaults(topo, 8, 5, 1000, 500, 2000)
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced identical plans")
+	}
+	if got := len(a.Events); got != 10 {
+		t.Fatalf("want 5 down + 5 up events, got %d", got)
+	}
+	if err := a.Validate(topo); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	// Distinct links, and every down has its up exactly mttr later.
+	down := make(map[Link]sim.Time)
+	for _, ev := range a.Events {
+		l := Link{Router: ev.Router, Port: ev.Port}
+		switch ev.Kind {
+		case LinkDown:
+			if _, dup := down[l]; dup {
+				t.Fatalf("link %v failed twice", l)
+			}
+			down[l] = ev.At
+		case LinkUp:
+			at, ok := down[l]
+			if !ok {
+				t.Fatalf("repair of %v before failure", l)
+			}
+			if ev.At != at+2000 {
+				t.Fatalf("repair of %v at %v, want %v", l, ev.At, at+2000)
+			}
+		}
+	}
+	if len(down) != 5 {
+		t.Fatalf("want 5 distinct failed links, got %d", len(down))
+	}
+}
+
+func TestRandomLinkFaultsCapsAtLinkCount(t *testing.T) {
+	topo := topology.NewMesh(2, 2)
+	nLinks := len(RouterLinks(topo))
+	p := RandomLinkFaults(topo, 1, nLinks+10, 0, 0, 0)
+	if got := len(p.Events); got != nLinks {
+		t.Fatalf("want %d events (capped), got %d", nLinks, got)
+	}
+}
+
+func TestRouterLinksUniqueAndWired(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		topo topology.Topology
+		want int
+	}{
+		// 4x4 mesh: 2*4*3 = 24 undirected inter-router links.
+		{"mesh4x4", topology.NewMesh(4, 4), 24},
+		// 4x4 torus adds the 8 wraparound links.
+		{"torus4x4", topology.NewTorus(4, 4), 32},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			links := RouterLinks(tc.topo)
+			if len(links) != tc.want {
+				t.Fatalf("want %d links, got %d", tc.want, len(links))
+			}
+			seen := make(map[[2]int]bool)
+			for _, l := range links {
+				peer := tc.topo.PortPeer(l.Router, l.Port)
+				if !peer.IsRouter() {
+					t.Fatalf("link %v is a terminal link", l)
+				}
+				a, b := int(l.Router), int(peer.Router)
+				if a > b {
+					a, b = b, a
+				}
+				key := [2]int{a, b}
+				// A torus pair can be joined by two parallel links (wrap +
+				// direct on size-2 rings) — but not on 4x4.
+				if seen[key] {
+					t.Fatalf("router pair %v listed twice", key)
+				}
+				seen[key] = true
+			}
+		})
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	topo := topology.NewMesh(2, 2)
+	cases := []struct {
+		name string
+		ev   Event
+	}{
+		{"negative time", Event{At: -1, Kind: LinkDown, Router: 0, Port: 0}},
+		{"unknown router", Event{Kind: LinkDown, Router: 99, Port: 0}},
+		{"unknown port", Event{Kind: LinkDown, Router: 0, Port: 99}},
+		{"zero factor", Event{Kind: LinkDegrade, Router: 0, Port: 0, Factor: 0}},
+		{"factor above one", Event{Kind: LinkDegrade, Router: 0, Port: 0, Factor: 1.5}},
+		{"unknown kind", Event{Kind: Kind(42), Router: 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := Plan{Events: []Event{tc.ev}}
+			if err := p.Validate(topo); err == nil {
+				t.Fatalf("Validate accepted %v", tc.ev)
+			}
+		})
+	}
+}
+
+func TestPlanAddKeepsOrder(t *testing.T) {
+	var p Plan
+	p.Add(Event{At: 300, Kind: LinkDown})
+	p.Add(Event{At: 100, Kind: LinkDown})
+	p.Add(Event{At: 200, Kind: LinkUp})
+	p.Add(Event{At: 100, Kind: LinkUp}) // equal time: after the first 100
+	want := []sim.Time{100, 100, 200, 300}
+	for i, ev := range p.Events {
+		if ev.At != want[i] {
+			t.Fatalf("event %d at %v, want %v (%v)", i, ev.At, want[i], p.Events)
+		}
+	}
+	if p.Events[0].Kind != LinkDown || p.Events[1].Kind != LinkUp {
+		t.Fatalf("stable ordering violated at equal timestamps: %v", p.Events)
+	}
+}
+
+func TestFlappingLink(t *testing.T) {
+	p := FlappingLink(3, 1, 1000, 400, 3)
+	if len(p.Events) != 6 {
+		t.Fatalf("want 6 events, got %d", len(p.Events))
+	}
+	for c := 0; c < 3; c++ {
+		down, up := p.Events[2*c], p.Events[2*c+1]
+		if down.Kind != LinkDown || down.At != sim.Time(1000+400*c) {
+			t.Fatalf("cycle %d down event wrong: %v", c, down)
+		}
+		if up.Kind != LinkUp || up.At != down.At+200 {
+			t.Fatalf("cycle %d up event wrong: %v", c, up)
+		}
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	cases := []struct {
+		spec string
+		want []Event
+	}{
+		{
+			"link@500ns:1.2",
+			[]Event{{At: 500, Kind: LinkDown, Router: 1, Port: 2}},
+		},
+		{
+			"link@1us:1.2+2us",
+			[]Event{
+				{At: 1000, Kind: LinkDown, Router: 1, Port: 2},
+				{At: 3000, Kind: LinkUp, Router: 1, Port: 2},
+			},
+		},
+		{
+			"router@2us:5",
+			[]Event{{At: 2000, Kind: RouterDown, Router: 5}},
+		},
+		{
+			"router@2us:5+1us",
+			[]Event{
+				{At: 2000, Kind: RouterDown, Router: 5},
+				{At: 3000, Kind: RouterUp, Router: 5},
+			},
+		},
+		{
+			"degrade@1us:1.2*0.25+4us",
+			[]Event{
+				{At: 1000, Kind: LinkDegrade, Router: 1, Port: 2, Factor: 0.25},
+				{At: 5000, Kind: LinkDegrade, Router: 1, Port: 2, Factor: 1},
+			},
+		},
+		{
+			"flap@1us:1.2*2/1us",
+			[]Event{
+				{At: 1000, Kind: LinkDown, Router: 1, Port: 2},
+				{At: 1500, Kind: LinkUp, Router: 1, Port: 2},
+				{At: 2000, Kind: LinkDown, Router: 1, Port: 2},
+				{At: 2500, Kind: LinkUp, Router: 1, Port: 2},
+			},
+		},
+		{
+			"link@500ns:1.2, link@700ns:5.3",
+			[]Event{
+				{At: 500, Kind: LinkDown, Router: 1, Port: 2},
+				{At: 700, Kind: LinkDown, Router: 5, Port: 3},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.spec, func(t *testing.T) {
+			p, err := ParsePlan(tc.spec, topo, 1)
+			if err != nil {
+				t.Fatalf("ParsePlan: %v", err)
+			}
+			if !reflect.DeepEqual(p.Events, tc.want) {
+				t.Fatalf("got %v, want %v", p.Events, tc.want)
+			}
+		})
+	}
+}
+
+func TestParsePlanRand(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	p, err := ParsePlan("rand3@1us+500ns~2us", topo, 42)
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	if len(p.Events) != 6 {
+		t.Fatalf("want 3 down + 3 up, got %d events", len(p.Events))
+	}
+	q, err := ParsePlan("rand3@1us+500ns~2us", topo, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, q) {
+		t.Fatalf("same spec+seed produced different plans")
+	}
+	for _, ev := range p.Events {
+		if ev.Kind == LinkDown && (ev.At < 1000 || ev.At > 1500) {
+			t.Fatalf("down event outside [1us, 1.5us]: %v", ev)
+		}
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	topo := topology.NewMesh(2, 2)
+	for _, spec := range []string{
+		"bogus@1us:0.0",
+		"link@1us",
+		"link@oops:0.0",
+		"link@1us:0",
+		"link@1us:0.99",     // unknown port
+		"link@1us:9.0",      // unknown router
+		"degrade@1us:0.0",   // missing factor
+		"degrade@1us:0.0*2", // factor > 1
+		"flap@1us:0.0*2",    // missing period
+		"randx@1us",
+		"rand0@1us",
+	} {
+		if _, err := ParsePlan(spec, topo, 1); err == nil {
+			t.Errorf("ParsePlan(%q) accepted invalid spec", spec)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package faults
+
+import (
+	"prdrb/internal/network"
+	"prdrb/internal/sim"
+)
+
+// Injector owns a plan's execution against one network: it schedules every
+// event on the network's engine and counts what it applied.
+type Injector struct {
+	net  *network.Network
+	plan Plan
+
+	// Applied counts, per kind, the events already executed.
+	Applied map[Kind]int
+}
+
+// Install validates the plan against the network's topology and schedules
+// every event on the network's event engine. Events fire in plan order
+// (the engine breaks same-time ties by scheduling sequence, which Install
+// preserves by scheduling in plan order).
+func Install(net *network.Network, plan Plan) (*Injector, error) {
+	if err := plan.Validate(net.Topo); err != nil {
+		return nil, err
+	}
+	inj := &Injector{net: net, plan: plan, Applied: make(map[Kind]int)}
+	for _, ev := range plan.Events {
+		ev := ev
+		net.Eng.Schedule(ev.At, func(e *sim.Engine) { inj.apply(e, ev) })
+	}
+	return inj, nil
+}
+
+func (inj *Injector) apply(e *sim.Engine, ev Event) {
+	switch ev.Kind {
+	case LinkDown:
+		inj.net.FailLink(e, ev.Router, ev.Port)
+	case LinkUp:
+		inj.net.RestoreLink(e, ev.Router, ev.Port)
+	case LinkDegrade:
+		inj.net.DegradeLink(ev.Router, ev.Port, ev.Factor)
+	case RouterDown:
+		inj.net.FailRouter(e, ev.Router)
+	case RouterUp:
+		inj.net.RestoreRouter(e, ev.Router)
+	}
+	inj.Applied[ev.Kind]++
+}
+
+// Total returns the number of events applied so far.
+func (inj *Injector) Total() int {
+	n := 0
+	for _, c := range inj.Applied {
+		n += c
+	}
+	return n
+}

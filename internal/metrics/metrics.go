@@ -286,12 +286,20 @@ func (m *LatencyMap) String() string {
 }
 
 // Throughput tracks offered vs accepted load (§4.2): bytes injected at
-// sources and bytes delivered at destinations.
+// sources and bytes delivered at destinations. Under fault injection the
+// fabric is no longer lossless, so dropped and unreachable traffic are
+// accounted separately from the accepted stream.
 type Throughput struct {
 	OfferedBytes  int64
 	AcceptedBytes int64
 	OfferedPkts   int64
 	AcceptedPkts  int64
+	// DroppedPkts/DroppedBytes count packets lost on failed links.
+	DroppedPkts  int64
+	DroppedBytes int64
+	// UnreachableMsgs counts messages refused at the source because no
+	// healthy route to the destination existed at injection time.
+	UnreachableMsgs int64
 }
 
 // Inject records an injected packet of size bytes.
@@ -305,6 +313,15 @@ func (t *Throughput) Deliver(bytes int) {
 	t.AcceptedBytes += int64(bytes)
 	t.AcceptedPkts++
 }
+
+// Drop records a packet lost on a failed link.
+func (t *Throughput) Drop(bytes int) {
+	t.DroppedBytes += int64(bytes)
+	t.DroppedPkts++
+}
+
+// Unreachable records a message refused for lack of a healthy route.
+func (t *Throughput) Unreachable() { t.UnreachableMsgs++ }
 
 // AcceptedRatio is accepted/offered packets (1 when nothing was offered).
 func (t *Throughput) AcceptedRatio() float64 {
@@ -329,6 +346,10 @@ type Collector struct {
 	Throughput   Throughput
 	GlobalSeries *Series    // network-wide packet latency vs time
 	Hist         *Histogram // end-to-end latency distribution (percentiles)
+	// Recovery is the failure-to-recovery latency distribution: the time
+	// between a source learning one of its paths died and the next
+	// successful delivery acknowledgement for that destination.
+	Recovery *Histogram
 }
 
 // NewCollector builds a collector for nodes terminals and routers switches;
@@ -338,6 +359,7 @@ func NewCollector(nodes, routers int, window sim.Time) *Collector {
 		Latency:    NewNodeLatency(nodes),
 		Contention: NewContention(routers, window),
 		Hist:       NewHistogram(),
+		Recovery:   NewHistogram(),
 	}
 	if window > 0 {
 		c.GlobalSeries = NewSeries(window)
@@ -357,6 +379,16 @@ func (c *Collector) PacketDelivered(dst int, bytes int, latency, now sim.Time) {
 
 // PacketInjected records an injected data packet.
 func (c *Collector) PacketInjected(bytes int) { c.Throughput.Inject(bytes) }
+
+// PacketDropped records a packet lost on a failed link.
+func (c *Collector) PacketDropped(bytes int) { c.Throughput.Drop(bytes) }
+
+// MessageUnreachable records a message refused at its source because the
+// destination was unreachable over the healthy part of the fabric.
+func (c *Collector) MessageUnreachable() { c.Throughput.Unreachable() }
+
+// PathRecovered records one failure-to-recovery latency.
+func (c *Collector) PathRecovered(d sim.Time) { c.Recovery.Observe(d) }
 
 // QueueWait records output-buffer contention at router r.
 func (c *Collector) QueueWait(r int, wait, now sim.Time) {

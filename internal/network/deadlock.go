@@ -138,12 +138,15 @@ func walkPath(g *depGraph, topo topology.Topology, src, dst topology.NodeID, msp
 		for idx < len(msp) && msp[idx] == r {
 			idx++
 		}
-		class := class0
-		if class0 != ackClass {
-			class = idx
-			if class > maxWaypoints {
-				class = maxWaypoints
-			}
+		// Segment index picks the escape class; ACK journeys use the
+		// dedicated ACK class for their final segment only (detoured ACKs
+		// ride the data classes until then — mirror of Packet.class).
+		class := idx
+		if class > maxWaypoints {
+			class = maxWaypoints
+		}
+		if class0 == ackClass && idx >= len(msp) {
+			class = ackClass
 		}
 		var port int
 		if idx < len(msp) {
@@ -205,6 +208,12 @@ func CheckDeadlockFreedom(topo topology.Topology, pathsPerPair int) error {
 			// ACK return path (dst -> src, ACK class, direct route).
 			if err := walkPath(g, topo, dst, src, nil, ackClass, vcsPerClass); err != nil {
 				return err
+			}
+			// Fault-detoured ACK returns (NIC.sendAck under failures).
+			for _, msp := range topo.AlternativePaths(dst, src, pathsPerPair) {
+				if err := walkPath(g, topo, dst, src, msp, ackClass, vcsPerClass); err != nil {
+					return err
+				}
 			}
 		}
 	}

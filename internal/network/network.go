@@ -33,6 +33,27 @@ type Network struct {
 	// PredictiveAcksDropped counts notifications skipped for lack of
 	// buffer space.
 	PredictiveAcksDropped int64
+
+	// DroppedPkts counts packets lost on failed links (see health.go).
+	DroppedPkts int64
+	// UnreachableMsgs counts messages refused at injection because no
+	// healthy route existed.
+	UnreachableMsgs int64
+
+	// faultEpoch increments on every link up/down transition; zero means
+	// the fabric has always been healthy and health checks short-circuit.
+	faultEpoch uint64
+	// reachSets caches Reachable's per-source BFS until the next epoch.
+	reachEpoch uint64
+	reachSets  map[topology.RouterID][]bool
+	// ackDetours caches per-pair notification detours until the next epoch.
+	ackDetourEpoch uint64
+	ackDetours     map[flowPair]topology.Path
+}
+
+// flowPair keys per-(src,dst) caches.
+type flowPair struct {
+	src, dst topology.NodeID
 }
 
 // New builds the network. policy must not be nil; collector may be nil.

@@ -65,6 +65,16 @@ func (n *NIC) Send(e *sim.Engine, dst topology.NodeID, bytes int, mpiType uint8,
 	cfg := &n.net.Cfg
 	msgID := n.net.nextMsgID
 	n.net.nextMsgID++
+	// Under an injured fabric a destination can be cut off entirely; refuse
+	// the message cleanly instead of wedging it in a queue no policy can
+	// serve. Fault-free runs never pay for the check.
+	if !n.net.Reachable(n.ID, dst) {
+		n.net.UnreachableMsgs++
+		if n.net.Collector != nil {
+			n.net.Collector.MessageUnreachable()
+		}
+		return msgID
+	}
 	frags := (bytes + cfg.PacketBytes - 1) / cfg.PacketBytes
 	if frags == 0 {
 		frags = 1
@@ -154,6 +164,11 @@ func (n *NIC) sendAck(e *sim.Engine, pkt *Packet) {
 		ack.ReportRouter = pkt.ReportRouter
 		ack.Contending = pkt.Contending
 	}
+	// When a failure cut the direct return route, detour the notification:
+	// losing the ACK stream would blind the source exactly when it needs
+	// path-latency evidence most (no cost on healthy fabrics — the check
+	// short-circuits at fault epoch zero).
+	ack.Waypoints = n.net.ackDetour(n.ID, pkt.Src)
 	n.out.enqueue(e, ack, n.net.prepareVC(n.out, ack))
 }
 

@@ -144,9 +144,13 @@ func (p *Packet) advanceHeader(at topology.RouterID) {
 // for notification traffic, so the request/reply dependency cannot
 // deadlock either.
 func (p *Packet) class() int {
-	if p.Type == AckPacket {
+	if p.Type == AckPacket && p.HeaderIdx >= len(p.Waypoints) {
 		return ackClass
 	}
+	// A fault-detoured ACK (see NIC.sendAck) rides the ordinary per-segment
+	// escape classes until its final segment, where it joins the ACK class:
+	// classes stay totally ordered (segments ascend, ACK class is highest),
+	// so no walk can descend and close a cycle.
 	if p.HeaderIdx > maxWaypoints {
 		return maxWaypoints
 	}

@@ -55,6 +55,12 @@ type outPort struct {
 	linkDim  int
 	linkWrap bool
 	busy     bool
+	// down marks a failed link: the queue is not served, no credits are
+	// emitted, and the in-flight packet is dropped on delivery (health.go).
+	down bool
+	// rate scales the link bandwidth when the link is degraded; 0 or 1
+	// means nominal rate.
+	rate float64
 	// serEnd is when the in-flight packet's tail leaves the link; the port
 	// cannot start the next packet before it even if the downstream
 	// accepted the (cut-through) header earlier.
@@ -106,9 +112,10 @@ func (o *outPort) pickVC() int {
 	return -1
 }
 
-// pump starts transmitting the next queued packet if the link is idle.
+// pump starts transmitting the next queued packet if the link is idle. A
+// down link is never pumped: its queue survives, frozen, until repair.
 func (o *outPort) pump(e *sim.Engine) {
-	if o.busy {
+	if o.busy || o.down {
 		return
 	}
 	vc := o.pickVC()
@@ -141,6 +148,11 @@ func (o *outPort) pump(e *sim.Engine) {
 	// deliver/creditReturned.
 	ser := o.net.Cfg.SerializationTime(pkt.SizeBytes)
 	cut := o.net.Cfg.SerializationTime(o.net.Cfg.HeaderBytes)
+	if o.rate > 0 && o.rate < 1 {
+		// Transient bandwidth degradation stretches serialization.
+		ser = sim.Time(float64(ser) / o.rate)
+		cut = sim.Time(float64(cut) / o.rate)
+	}
 	if cut > ser {
 		cut = ser
 	}
@@ -260,6 +272,13 @@ func mergeFlows(have, add []FlowKey, max int) []FlowKey {
 func (o *outPort) deliver(e *sim.Engine, pkt *Packet, vc int) {
 	if o.peer == nil {
 		panic("network: delivery on unwired port")
+	}
+	if o.down {
+		// The link died under the packet: it is lost. The link is still
+		// freed so service restarts cleanly after repair.
+		o.net.dropPacket(e, pkt)
+		o.freeLink(e)
+		return
 	}
 	if o.linkWrap {
 		// The packet just crossed this ring's dateline: it continues on

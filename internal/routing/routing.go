@@ -21,6 +21,36 @@ func waypointPort(r *network.Router, pkt *network.Packet) (int, bool) {
 	return 0, false
 }
 
+// UpPorts is the link-health predicate of the routing layer: it filters a
+// minimal-port candidate set down to ports whose links are in service. When
+// every candidate is dead it returns the original set — the packet then
+// queues at a dead port instead of being misrouted, keeping each policy's
+// minimality (and so its deadlock-freedom argument) intact.
+func UpPorts(r *network.Router, ports []int) []int {
+	for i, p := range ports {
+		if !r.PortUp(p) {
+			// First dead port found: build the filtered copy from here.
+			up := append(make([]int, 0, len(ports)-1), ports[:i]...)
+			for _, q := range ports[i+1:] {
+				if r.PortUp(q) {
+					up = append(up, q)
+				}
+			}
+			if len(up) == 0 {
+				return ports
+			}
+			return up
+		}
+	}
+	return ports
+}
+
+// HealthyMinimalPorts returns the live minimal ports at r toward dst,
+// falling back to the full minimal set when the failure cut them all off.
+func HealthyMinimalPorts(r *network.Router, dst topology.NodeID) []int {
+	return UpPorts(r, r.Net().Topo.MinimalPorts(r.ID, dst))
+}
+
 // Deterministic always follows the topology's baseline deterministic
 // minimal route (§2.1.4 "deterministic"); waypoints, if present, are
 // honoured segment by segment, which is what the DRB family needs from the
@@ -55,7 +85,7 @@ func (p *Random) OutputPort(r *network.Router, pkt *network.Packet) int {
 	if port, ok := waypointPort(r, pkt); ok {
 		return port
 	}
-	ports := r.Net().Topo.MinimalPorts(r.ID, pkt.Dst)
+	ports := HealthyMinimalPorts(r, pkt.Dst)
 	return ports[p.rng.Intn(len(ports))]
 }
 
@@ -77,7 +107,7 @@ func (p *Cyclic) OutputPort(r *network.Router, pkt *network.Packet) int {
 	if port, ok := waypointPort(r, pkt); ok {
 		return port
 	}
-	ports := r.Net().Topo.MinimalPorts(r.ID, pkt.Dst)
+	ports := HealthyMinimalPorts(r, pkt.Dst)
 	i := p.next[r.ID] % len(ports)
 	p.next[r.ID] = i + 1
 	return ports[i]
@@ -98,11 +128,13 @@ func (Adaptive) OutputPort(r *network.Router, pkt *network.Packet) int {
 		return p
 	}
 	topo := r.Net().Topo
-	ports := topo.MinimalPorts(r.ID, pkt.Dst)
+	ports := HealthyMinimalPorts(r, pkt.Dst)
+	best, bestLoad := -1, 0
 	base := topo.NextHop(r.ID, pkt.Dst)
-	best, bestLoad := base, r.OutLoad(base)
 	for _, p := range ports {
-		if l := r.OutLoad(p); l < bestLoad {
+		l := r.OutLoad(p)
+		// Ties break deterministically toward the baseline port.
+		if best < 0 || l < bestLoad || (l == bestLoad && p == base && best != base) {
 			best, bestLoad = p, l
 		}
 	}

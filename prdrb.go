@@ -38,6 +38,7 @@ import (
 	"sort"
 
 	"prdrb/internal/core"
+	"prdrb/internal/faults"
 	"prdrb/internal/metrics"
 	"prdrb/internal/network"
 	"prdrb/internal/routing"
@@ -86,6 +87,12 @@ type (
 	ControllerStats = core.Stats
 	// FlowKey identifies a source/destination traffic flow.
 	FlowKey = network.FlowKey
+	// FaultPlan is a time-ordered schedule of link/switch fault events.
+	FaultPlan = faults.Plan
+	// FaultEvent is one timed fault (link down/up/degrade, router down/up).
+	FaultEvent = faults.Event
+	// FaultInjector executes a FaultPlan against a running simulation.
+	FaultInjector = faults.Injector
 )
 
 // Mesh returns a w x h 2-D mesh with one terminal per router.
@@ -235,6 +242,28 @@ func MustNewSim(exp Experiment) *Sim {
 		panic(err)
 	}
 	return s
+}
+
+// InstallFaults validates the fault plan against the topology and schedules
+// its events on the simulation's engine. The spec grammar of ParseFaults is
+// the usual way to author plans by hand; RandomLinkFaults generates seeded
+// reproducible ones.
+func (s *Sim) InstallFaults(plan FaultPlan) (*FaultInjector, error) {
+	return faults.Install(s.Net, plan)
+}
+
+// ParseFaults builds a fault plan from the --faults flag grammar (e.g.
+// "link@500us:3.1+2ms, rand2@1ms~500us") against this simulation's
+// topology, seeded by the experiment seed.
+func (s *Sim) ParseFaults(spec string) (FaultPlan, error) {
+	return faults.ParsePlan(spec, s.Net.Topo, s.Exp.Seed)
+}
+
+// RandomLinkFaults generates a reproducible plan failing n distinct
+// inter-router links at seeded-uniform times in [start, start+spread], each
+// repaired mttr later (mttr 0 = permanent).
+func RandomLinkFaults(topo Topology, seed uint64, n int, start, spread, mttr Time) FaultPlan {
+	return faults.RandomLinkFaults(topo, seed, n, start, spread, mttr)
 }
 
 // PatternSpec schedules synthetic open-loop traffic by pattern name
@@ -413,6 +442,17 @@ type Results struct {
 	Stats ControllerStats
 	// SavedPatterns is the solution-database size across nodes (PR- only).
 	SavedPatterns int
+	// DroppedPkts counts packets lost on failed links; UnreachableMsgs
+	// counts messages refused at injection for lack of any healthy route.
+	// Both stay zero on fault-free runs.
+	DroppedPkts     int64
+	UnreachableMsgs int64
+	// Recoveries counts completed failure-to-recovery cycles;
+	// RecoveryP50Us / RecoveryP99Us are the recovery-latency percentiles in
+	// microseconds (0 when no recovery was recorded).
+	Recoveries    int64
+	RecoveryP50Us float64
+	RecoveryP99Us float64
 	// Elapsed is the simulated time consumed.
 	Elapsed Time
 }
@@ -441,10 +481,17 @@ func (s *Sim) Summarize() Results {
 		AvgContentionUs:  s.Collector.Contention.GlobalAvg() / 1e3,
 		AcceptedRatio:    s.Collector.Throughput.AcceptedRatio(),
 		DeliveredPkts:    s.Collector.Throughput.AcceptedPkts,
+		DroppedPkts:      s.Net.DroppedPkts,
+		UnreachableMsgs:  s.Net.UnreachableMsgs,
 		Elapsed:          s.Eng.Now(),
+	}
+	if s.Collector.Recovery.Count() > 0 {
+		res.RecoveryP50Us = s.Collector.Recovery.Quantile(0.5) / 1e3
+		res.RecoveryP99Us = s.Collector.Recovery.Quantile(0.99) / 1e3
 	}
 	if s.Controllers != nil {
 		res.Stats = core.AggregateStats(s.Controllers)
+		res.Recoveries = res.Stats.Recoveries
 		for _, c := range s.Controllers {
 			if c != nil && c.DB() != nil {
 				res.SavedPatterns += c.DB().Size()

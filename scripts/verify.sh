@@ -1,0 +1,19 @@
+#!/bin/sh
+# verify.sh — the full pre-merge gate: static analysis, build, and the
+# test suite under the race detector (the experiment harness and the
+# fault injector fan simulations out across goroutines).
+#
+# Usage: scripts/verify.sh [extra go-test args]
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./... $*"
+go test -race "$@" ./...
+
+echo "==> verify OK"
