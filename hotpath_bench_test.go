@@ -1,0 +1,60 @@
+package prdrb
+
+import "testing"
+
+// BenchmarkHotPath drives a saturated 64-node fat-tree under uniform traffic
+// and reports raw simulator performance (engineering metrics). scripts/
+// bench.sh turns its output into BENCH_hotpath.json; scripts/verify.sh runs
+// it once as a smoke test.
+func BenchmarkHotPath(b *testing.B) {
+	var events, pkts uint64
+	for i := 0; i < b.N; i++ {
+		s := MustNewSim(Experiment{Topology: FatTree(4, 3), Policy: PolicyAdaptive, Seed: uint64(i + 1)})
+		if err := s.InstallPattern(PatternSpec{Pattern: "uniform", RateMbps: 800, Start: 0, End: Millisecond}); err != nil {
+			b.Fatal(err)
+		}
+		s.Execute(2 * Second)
+		events += s.Eng.Processed
+		pkts += uint64(s.Collector.Throughput.AcceptedPkts)
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	b.ReportMetric(float64(pkts)/float64(b.N), "pkts/op")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(pkts)/b.Elapsed().Seconds(), "pkts/sec")
+}
+
+// TestHotPathZeroAlloc is the allocation guard for the typed-event core:
+// once a saturated run is warmed up (event records recycled through the
+// engine freelist, packets through the network pool, topology scratch
+// primed), stepping the simulator must not allocate at all. Any new
+// closure, boxing, or map/slice growth on the hot path fails this test.
+func TestHotPathZeroAlloc(t *testing.T) {
+	s := MustNewSim(Experiment{Topology: FatTree(4, 3), Policy: PolicyAdaptive, Seed: 7})
+	// Sustained load, stable queues: the measurement runs against this.
+	if err := s.InstallPattern(PatternSpec{Pattern: "uniform", RateMbps: 400, Start: 0, End: Second}); err != nil {
+		t.Fatal(err)
+	}
+	// Priming overlay: 2 ms of additional supersaturating traffic pushes
+	// every high-water mark (packet pool, per-port queues, event heap and
+	// freelist) far above anything the stable load will reach, so the
+	// measured window sees no capacity growth — only recycling.
+	if err := s.InstallPattern(PatternSpec{Pattern: "uniform", RateMbps: 800, Start: 0, End: 2 * Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	// Warm past the overlay and drain its backlog transient.
+	s.Eng.Run(6 * Millisecond)
+	if s.Eng.Len() == 0 {
+		t.Fatal("queue drained during warmup; workload no longer saturates the engine")
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		for i := 0; i < 20000; i++ {
+			if !s.Eng.Step() {
+				t.Fatal("engine drained mid-measurement")
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("hot path allocates %.2f allocs per 20k events, want 0", avg)
+	}
+}

@@ -181,6 +181,35 @@ func (c *Contention) Observe(r int, wait sim.Time, now sim.Time) {
 	}
 }
 
+// RouterObserver is a pre-resolved handle onto one router's contention
+// stats: observation sites hold it instead of indexing through the
+// collector on every sample. The zero value is invalid (Observe on it
+// panics); check Valid for optional attachment.
+type RouterObserver struct {
+	st *RouterStat
+}
+
+// Observer returns the handle for router r.
+func (c *Contention) Observer(r int) RouterObserver {
+	return RouterObserver{st: &c.routers[r]}
+}
+
+// Valid reports whether the handle is attached to a router's stats.
+func (o RouterObserver) Valid() bool { return o.st != nil }
+
+// Observe records a queue wait at the handle's router at time now. It is
+// equivalent to Contention.Observe on the router the handle was built for.
+func (o RouterObserver) Observe(wait, now sim.Time) {
+	v := float64(wait)
+	o.st.Wait.Add(v)
+	if v > o.st.MaxNs {
+		o.st.MaxNs = v
+	}
+	if o.st.Series != nil {
+		o.st.Series.Add(now, v)
+	}
+}
+
 // Avg returns the mean contention latency (ns) at router r.
 func (c *Contention) Avg(r int) float64 { return c.routers[r].Wait.Mean() }
 
@@ -374,6 +403,34 @@ func (c *Collector) PacketDelivered(dst int, bytes int, latency, now sim.Time) {
 	c.Hist.Observe(latency)
 	if c.GlobalSeries != nil {
 		c.GlobalSeries.Add(now, float64(latency))
+	}
+}
+
+// DeliveryObserver is a pre-resolved per-destination handle over the
+// collector's delivery metrics: the sink holds the destination's running
+// average directly instead of indexing the latency table per packet. The
+// zero value is invalid; check Valid for optional attachment.
+type DeliveryObserver struct {
+	c   *Collector
+	dst *RunningAvg
+}
+
+// DeliveryObserver returns the delivery handle for destination node dst.
+func (c *Collector) DeliveryObserver(dst int) DeliveryObserver {
+	return DeliveryObserver{c: c, dst: &c.Latency.perDst[dst]}
+}
+
+// Valid reports whether the handle is attached to a collector.
+func (o DeliveryObserver) Valid() bool { return o.c != nil }
+
+// PacketDelivered records a delivery at the handle's destination. It is
+// equivalent to Collector.PacketDelivered for that destination.
+func (o DeliveryObserver) PacketDelivered(bytes int, latency, now sim.Time) {
+	o.dst.Add(float64(latency))
+	o.c.Throughput.Deliver(bytes)
+	o.c.Hist.Observe(latency)
+	if o.c.GlobalSeries != nil {
+		o.c.GlobalSeries.Add(now, float64(latency))
 	}
 }
 

@@ -173,6 +173,9 @@ func (n *Network) dropPacket(e *sim.Engine, pkt *Packet) {
 			fa.HandlePacketLoss(e, pkt)
 		}
 	}
+	// The drop path is a final owner too: the record returns to the pool
+	// once the loss notification has been delivered.
+	n.releasePacket(pkt)
 }
 
 // ackDetour returns multistep waypoints for notification traffic from src

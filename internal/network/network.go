@@ -23,6 +23,9 @@ type Network struct {
 	nextPktID uint64
 	nextMsgID uint64
 
+	// pktFree is the packet freelist (see pool.go).
+	pktFree []*Packet
+
 	// vcsPerClass is 2 when the topology has ring (wrap) links — dateline
 	// channel pairs — and 1 otherwise. numVC = numClasses * vcsPerClass.
 	vcsPerClass int
@@ -84,7 +87,7 @@ func New(eng *sim.Engine, topo topology.Topology, cfg Config, policy RouterPolic
 	n.numVC = numClasses * n.vcsPerClass
 
 	newPort := func(router topology.RouterID, port, capBytes int) *outPort {
-		return &outPort{
+		op := &outPort{
 			net:       n,
 			router:    router,
 			port:      port,
@@ -93,6 +96,11 @@ func New(eng *sim.Engine, topo topology.Topology, cfg Config, policy RouterPolic
 			parked:    make([][]parkedDelivery, n.numVC),
 			parkedOut: make([]bool, n.numVC),
 		}
+		if collector != nil && router >= 0 {
+			// Resolve the contention-metrics handle once, at wiring time.
+			op.obs = collector.Contention.Observer(int(router))
+		}
+		return op
 	}
 	// Routers and their output ports.
 	n.Routers = make([]*Router, topo.NumRouters())
@@ -112,6 +120,9 @@ func New(eng *sim.Engine, topo topology.Topology, cfg Config, policy RouterPolic
 			ID:    topology.NodeID(t),
 			net:   n,
 			reasm: make(map[uint64]*reassembly),
+		}
+		if collector != nil {
+			nic.deliv = collector.DeliveryObserver(t)
 		}
 		// Source queues are effectively unbounded: the offered load is
 		// the experiment input and the growing injection queue is how
@@ -210,24 +221,22 @@ func (n *Network) SetPortMonitor(m PortMonitor) {
 func (n *Network) injectPredictiveAcks(e *sim.Engine, from *outPort, flows []FlowKey, wait sim.Time) {
 	r := n.Routers[from.router]
 	for _, f := range flows {
-		ack := &Packet{
-			ID:           n.nextPktID,
-			Type:         AckPacket,
-			Src:          f.Dst, // lets the source attribute it to flow (f.Src -> f.Dst)
-			Dst:          f.Src,
-			SizeBytes:    n.Cfg.AckBytes,
-			CreatedAt:    e.Now(),
-			PathLatency:  wait,
-			MSPIndex:     -1,
-			Predictive:   true,
-			ReportRouter: from.router,
-			Contending:   flows,
-		}
-		n.nextPktID++
+		ack := n.newPacket()
+		ack.Type = AckPacket
+		ack.Src = f.Dst // lets the source attribute it to flow (f.Src -> f.Dst)
+		ack.Dst = f.Src
+		ack.SizeBytes = n.Cfg.AckBytes
+		ack.CreatedAt = e.Now()
+		ack.PathLatency = wait
+		ack.MSPIndex = -1
+		ack.Predictive = true
+		ack.ReportRouter = from.router
+		ack.Contending = flows
 		if r.injectAck(e, ack) {
 			n.PredictiveAcksSent++
 		} else {
 			n.PredictiveAcksDropped++
+			n.releasePacket(ack)
 		}
 	}
 }

@@ -124,8 +124,9 @@ func TestLatencyReflectsDistance(t *testing.T) {
 func TestAckReturnsWithPathLatency(t *testing.T) {
 	n := testNet(t, topology.NewMesh(4, 4), nil)
 	e := n.Eng
-	var acks []*Packet
-	n.NICs[0].OnAck = func(_ *sim.Engine, ack *Packet) { acks = append(acks, ack) }
+	// ACK records return to the pool after the callback: copy, don't retain.
+	var acks []Packet
+	n.NICs[0].OnAck = func(_ *sim.Engine, ack *Packet) { acks = append(acks, *ack) }
 	e.Schedule(0, func(e *sim.Engine) { n.NICs[0].Send(e, 15, 2048, MPISend, 3) })
 	e.RunAll()
 	if len(acks) != 2 {
@@ -253,10 +254,14 @@ func TestRouterBasedNotification(t *testing.T) {
 		c.RouterAckInterval = 5 * sim.Microsecond
 	})
 	e := n.Eng
+	// Copy the first predictive ACK: the record is pooled after the callback
+	// (the copied Contending header still points at the live backing array,
+	// which the pool never scrubs).
 	var predictive *Packet
 	n.NICs[3].OnAck = func(_ *sim.Engine, ack *Packet) {
 		if ack.Predictive && predictive == nil {
-			predictive = ack
+			cp := *ack
+			predictive = &cp
 		}
 	}
 	for i := 0; i < 30; i++ {

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"prdrb/internal/metrics"
 	"prdrb/internal/sim"
 	"prdrb/internal/topology"
 )
@@ -47,6 +48,10 @@ type NIC struct {
 
 	// Delivered counts complete messages received.
 	Delivered int64
+
+	// deliv is the pre-resolved latency/throughput handle for this node
+	// (invalid when no collector is attached).
+	deliv metrics.DeliveryObserver
 }
 
 type reassembly struct {
@@ -89,21 +94,18 @@ func (n *NIC) Send(e *sim.Engine, dst topology.NodeID, bytes int, mpiType uint8,
 			size = cfg.AckBytes // header floor
 		}
 		remaining -= cfg.PacketBytes
-		pkt := &Packet{
-			ID:        n.net.nextPktID,
-			Type:      DataPacket,
-			Src:       n.ID,
-			Dst:       dst,
-			SizeBytes: size,
-			CreatedAt: e.Now(),
-			Final:     i == frags-1,
-			MPIType:   mpiType,
-			MPISeq:    mpiSeq,
-			MsgID:     msgID,
-			FragIdx:   i,
-			FragCount: frags,
-		}
-		n.net.nextPktID++
+		pkt := n.net.newPacket()
+		pkt.Type = DataPacket
+		pkt.Src = n.ID
+		pkt.Dst = dst
+		pkt.SizeBytes = size
+		pkt.CreatedAt = e.Now()
+		pkt.Final = i == frags-1
+		pkt.MPIType = mpiType
+		pkt.MPISeq = mpiSeq
+		pkt.MsgID = msgID
+		pkt.FragIdx = i
+		pkt.FragCount = frags
 		if n.Source != nil {
 			n.Source.PrepareInjection(e, pkt)
 		}
@@ -120,8 +122,11 @@ func (n *NIC) Send(e *sim.Engine, dst topology.NodeID, bytes int, mpiType uint8,
 }
 
 // accept implements receiver: the sink FSM. Terminals always have space
-// (the paper's destination consumes at line rate, Fig 4.3).
-func (n *NIC) accept(e *sim.Engine, pkt *Packet, _ func(*sim.Engine)) bool {
+// (the paper's destination consumes at line rate, Fig 4.3). The NIC is the
+// packet's final owner: once the handlers return, the record goes back to
+// the pool — handlers (controllers, OnAck/OnMessage hooks) must not retain
+// the *Packet beyond the callback.
+func (n *NIC) accept(e *sim.Engine, pkt *Packet, _ *outPort, _ int) bool {
 	switch pkt.Type {
 	case AckPacket:
 		if n.Source != nil {
@@ -130,14 +135,16 @@ func (n *NIC) accept(e *sim.Engine, pkt *Packet, _ func(*sim.Engine)) bool {
 		if n.OnAck != nil {
 			n.OnAck(e, pkt)
 		}
+		n.net.releasePacket(pkt)
 	case DataPacket:
-		if n.net.Collector != nil {
-			n.net.Collector.PacketDelivered(int(pkt.Dst), pkt.SizeBytes, e.Now()-pkt.CreatedAt, e.Now())
+		if n.deliv.Valid() {
+			n.deliv.PacketDelivered(pkt.SizeBytes, e.Now()-pkt.CreatedAt, e.Now())
 		}
 		if n.net.Cfg.GenerateAcks {
 			n.sendAck(e, pkt)
 		}
 		n.reassemble(e, pkt)
+		n.net.releasePacket(pkt)
 	}
 	return true
 }
@@ -146,20 +153,17 @@ func (n *NIC) accept(e *sim.Engine, pkt *Packet, _ func(*sim.Engine)) bool {
 // path latency plus, unless a router already notified (P bit, §3.4.2), the
 // contending flows logged into the packet's predictive header.
 func (n *NIC) sendAck(e *sim.Engine, pkt *Packet) {
-	ack := &Packet{
-		ID:          n.net.nextPktID,
-		Type:        AckPacket,
-		Src:         n.ID,
-		Dst:         pkt.Src,
-		SizeBytes:   n.net.Cfg.AckBytes,
-		CreatedAt:   e.Now(),
-		PathLatency: pkt.PathLatency,
-		MSPIndex:    pkt.MSPIndex,
-		MPIType:     pkt.MPIType,
-		MPISeq:      pkt.MPISeq,
-		MsgID:       pkt.MsgID,
-	}
-	n.net.nextPktID++
+	ack := n.net.newPacket()
+	ack.Type = AckPacket
+	ack.Src = n.ID
+	ack.Dst = pkt.Src
+	ack.SizeBytes = n.net.Cfg.AckBytes
+	ack.CreatedAt = e.Now()
+	ack.PathLatency = pkt.PathLatency
+	ack.MSPIndex = pkt.MSPIndex
+	ack.MPIType = pkt.MPIType
+	ack.MPISeq = pkt.MPISeq
+	ack.MsgID = pkt.MsgID
 	if !pkt.Predictive {
 		ack.ReportRouter = pkt.ReportRouter
 		ack.Contending = pkt.Contending
@@ -173,6 +177,15 @@ func (n *NIC) sendAck(e *sim.Engine, pkt *Packet) {
 }
 
 func (n *NIC) reassemble(e *sim.Engine, pkt *Packet) {
+	// Single-fragment messages — the synthetic-traffic common case — skip
+	// the reassembly map entirely: no entry churn on the hot path.
+	if pkt.FragCount == 1 {
+		n.Delivered++
+		if n.OnMessage != nil {
+			n.OnMessage(e, pkt.Src, pkt.MsgID, pkt.SizeBytes, pkt.MPIType, pkt.MPISeq)
+		}
+		return
+	}
 	ra := n.reasm[pkt.MsgID]
 	if ra == nil {
 		ra = &reassembly{total: pkt.FragCount}

@@ -1,0 +1,50 @@
+package network
+
+// Per-simulation packet freelist. A saturated run moves millions of packets
+// and — before pooling — allocated every one of them; recycling the records
+// keeps the steady-state injection path allocation-free and GC-quiet.
+//
+// Lifecycle invariants:
+//
+//   - A packet is acquired (newPacket) at injection: NIC.Send fragments,
+//     destination ACKs (NIC.sendAck) and router-originated predictive ACKs
+//     (Network.injectPredictiveAcks).
+//   - It is released exactly once, by its final owner: the destination NIC
+//     after the sink handlers return (NIC.accept), the drop path for
+//     packets lost on a failed link (Network.dropPacket), or the GPA module
+//     when a predictive ACK finds no buffer space (injectPredictiveAcks).
+//   - Release zeroes every field (`*p = Packet{}`), so a stale reference
+//     can never observe the next occupant's identity. Slice fields
+//     (Waypoints, Contending) only have the reference dropped — their
+//     backing arrays may still be shared with live packets (an ACK copies
+//     the data packet's Contending slice; detoured ACKs share the cached
+//     detour path) and are never scrubbed or reused by the pool.
+//   - Callbacks that receive a *Packet (HandleAck, OnAck, HandlePacketLoss,
+//     PortMonitor) must copy what they need and not retain the pointer.
+//
+// The pool is deterministic: it is plain per-Network state touched only
+// from engine callbacks, so identical seeds yield identical packet-record
+// reuse orders (and identical simulations — packet identity never leaks
+// into behaviour).
+
+// newPacket returns a zeroed packet carrying the next packet ID.
+func (n *Network) newPacket() *Packet {
+	var p *Packet
+	if k := len(n.pktFree); k > 0 {
+		p = n.pktFree[k-1]
+		n.pktFree[k-1] = nil
+		n.pktFree = n.pktFree[:k-1]
+	} else {
+		p = &Packet{}
+	}
+	p.ID = n.nextPktID
+	n.nextPktID++
+	return p
+}
+
+// releasePacket zeroes p and returns it to the freelist. The caller must be
+// the packet's final owner.
+func (n *Network) releasePacket(p *Packet) {
+	*p = Packet{}
+	n.pktFree = append(n.pktFree, p)
+}

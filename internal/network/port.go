@@ -3,24 +3,28 @@ package network
 import (
 	"sort"
 
+	"prdrb/internal/metrics"
 	"prdrb/internal/sim"
 	"prdrb/internal/topology"
 )
 
 // receiver is the downstream end of a link. accept takes delivery of pkt;
 // if the receiver has no buffer space it returns false and guarantees to
-// call resume exactly once once the packet has been admitted, at which point
-// the sender may reuse the link. This models credit-based flow control
-// (§2.1.3): a full downstream buffer stalls the upstream port, so congestion
-// spreads backward exactly as in lossless fabrics.
+// return the credit exactly once — a portEvCredit event to `from` carrying
+// fromVC — once the packet has been admitted, at which point the sender may
+// reuse the VC. This models credit-based flow control (§2.1.3): a full
+// downstream buffer stalls the upstream port, so congestion spreads backward
+// exactly as in lossless fabrics.
 type receiver interface {
-	accept(e *sim.Engine, pkt *Packet, resume func(*sim.Engine)) bool
+	accept(e *sim.Engine, pkt *Packet, from *outPort, fromVC int) bool
 }
 
-// parkedDelivery is an in-flight packet waiting for downstream buffer space.
+// parkedDelivery is an in-flight packet waiting for downstream buffer space,
+// remembering the upstream port and VC whose credit it holds.
 type parkedDelivery struct {
 	pkt    *Packet
-	resume func(*sim.Engine)
+	from   *outPort
+	fromVC int
 }
 
 // vcQueue is one virtual channel's FIFO within an output port.
@@ -76,6 +80,49 @@ type outPort struct {
 	// monitor hooks into the DRB/PR-DRB machinery at this router's ports.
 	// Nil for baselines and NIC ports.
 	monitor PortMonitor
+
+	// inflight is the packet between pump and deliver. At most one packet is
+	// ever in that window per port — busy is raised by pump and only cleared
+	// after the delivery completed (freeLink) — so the deliver event can
+	// carry just the VC in its payload word and find the packet here.
+	inflight *Packet
+	// obs is the pre-resolved contention-metrics handle for this router's
+	// stats (invalid for NIC ports or when no collector is attached), so the
+	// hot path never indexes through the collector.
+	obs metrics.RouterObserver
+	// queuedScratch backs the monitor callback's queued list between calls.
+	queuedScratch []*Packet
+}
+
+// Typed event kinds delivered to an outPort (sim.Actor).
+const (
+	// portEvDeliver hands the inflight packet to the peer; arg is the VC.
+	portEvDeliver uint8 = iota
+	// portEvFree releases the link at serialization end; arg carries the
+	// expected serEnd so a superseding transmission invalidates the event.
+	portEvFree
+	// portEvCredit returns a VC credit from the downstream receiver; arg is
+	// the VC whose parked-out latch freed.
+	portEvCredit
+)
+
+// HandleEvent implements sim.Actor: the port's hot-path transitions run as
+// typed events, so steady-state forwarding schedules nothing but pooled
+// event records.
+func (o *outPort) HandleEvent(e *sim.Engine, kind uint8, arg uint64) {
+	switch kind {
+	case portEvDeliver:
+		pkt := o.inflight
+		o.inflight = nil
+		o.deliver(e, pkt, int(arg))
+	case portEvFree:
+		if uint64(o.serEnd) == arg { // not superseded
+			o.busy = false
+			o.pump(e)
+		}
+	case portEvCredit:
+		o.creditReturned(e, int(arg))
+	}
 }
 
 // PortMonitor receives the Latency Update / Contending Flows Detection
@@ -134,8 +181,8 @@ func (o *outPort) pump(e *sim.Engine) {
 		// Latency Update module (Eq 3.3): accumulate buffer wait into the
 		// packet and record the router's contention latency.
 		pkt.PathLatency += wait
-		if o.net.Collector != nil {
-			o.net.Collector.QueueWait(int(o.router), wait, e.Now())
+		if o.obs.Valid() {
+			o.obs.Observe(wait, e.Now())
 		}
 		o.monitorDeparture(e, pkt, wait)
 	}
@@ -159,13 +206,17 @@ func (o *outPort) pump(e *sim.Engine) {
 	o.serEnd = e.Now() + ser
 	o.busyNs += ser
 	o.txBytes += int64(pkt.SizeBytes)
-	e.After(cut+o.txExtra, func(e *sim.Engine) { o.deliver(e, pkt, vc) })
+	o.inflight = pkt
+	e.AfterEvent(cut+o.txExtra, o, portEvDeliver, uint64(vc))
 }
 
-// monitorDeparture drives CFD (§3.3.2) and any attached PortMonitor.
+// monitorDeparture drives CFD (§3.3.2) and any attached PortMonitor. The
+// CFD machinery is gated on GenerateAcks: the predictive header it writes
+// is only ever read back through the ACK path, so runs without ACKs
+// (the oblivious baselines) skip the contending-flows bookkeeping entirely.
 func (o *outPort) monitorDeparture(e *sim.Engine, pkt *Packet, wait sim.Time) {
 	cfg := &o.net.Cfg
-	if wait > cfg.CongestionThreshold && pkt.Type == DataPacket {
+	if cfg.GenerateAcks && wait > cfg.CongestionThreshold && pkt.Type == DataPacket {
 		flows := o.topContendingFlows(pkt)
 		if len(flows) > 0 {
 			switch cfg.NotifyMode {
@@ -186,12 +237,15 @@ func (o *outPort) monitorDeparture(e *sim.Engine, pkt *Packet, wait sim.Time) {
 		}
 	}
 	if o.monitor != nil {
-		var queued []*Packet
+		// queuedScratch is reused between calls; the monitor contract is
+		// that the slice is only valid during the callback.
+		queued := o.queuedScratch[:0]
 		for vc := range o.vcs {
 			if !o.net.isAckVC(vc) {
 				queued = append(queued, o.vcs[vc].q...)
 			}
 		}
+		o.queuedScratch = queued
 		o.monitor.PacketDeparting(e, o.router, pkt, wait, queued)
 	}
 }
@@ -285,7 +339,7 @@ func (o *outPort) deliver(e *sim.Engine, pkt *Packet, vc int) {
 		// the high virtual channel of its class within this dimension.
 		pkt.dateline = true
 	}
-	if !o.peer.accept(e, pkt, func(e *sim.Engine) { o.creditReturned(e, vc) }) {
+	if !o.peer.accept(e, pkt, o, vc) {
 		o.parkedOut[vc] = true
 	}
 	o.freeLink(e)
@@ -301,13 +355,9 @@ func (o *outPort) creditReturned(e *sim.Engine, vc int) {
 // freeLink releases the physical link once the packet's tail has left it.
 func (o *outPort) freeLink(e *sim.Engine) {
 	if e.Now() < o.serEnd {
-		end := o.serEnd
-		e.Schedule(end, func(e *sim.Engine) {
-			if o.serEnd == end { // not superseded
-				o.busy = false
-				o.pump(e)
-			}
-		})
+		// The serEnd guard travels in the event payload: a later
+		// transmission moves serEnd and thereby invalidates this event.
+		e.ScheduleEvent(o.serEnd, o, portEvFree, uint64(o.serEnd))
 		return
 	}
 	o.busy = false
@@ -323,9 +373,8 @@ func (o *outPort) admitParked(e *sim.Engine) {
 			copy(o.parked[vc], o.parked[vc][1:])
 			o.parked[vc] = o.parked[vc][:len(o.parked[vc])-1]
 			o.enqueue(e, pd.pkt, vc)
-			// Resume the sender via a fresh event to bound recursion depth.
-			resume := pd.resume
-			e.After(0, resume)
+			// Return the credit via a fresh event to bound recursion depth.
+			e.AfterEvent(0, pd.from, portEvCredit, uint64(pd.fromVC))
 		}
 	}
 }

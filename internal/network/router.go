@@ -41,7 +41,7 @@ func (r *Router) Ports() int { return len(r.out) }
 
 // accept implements receiver: HDP header advance, routing decision, then
 // admission into the chosen output buffer or parking with backpressure.
-func (r *Router) accept(e *sim.Engine, pkt *Packet, resume func(*sim.Engine)) bool {
+func (r *Router) accept(e *sim.Engine, pkt *Packet, from *outPort, fromVC int) bool {
 	pkt.advanceHeader(r.ID)
 	port := r.net.Policy.OutputPort(r, pkt)
 	if port < 0 || port >= len(r.out) || r.out[port].peer == nil {
@@ -54,7 +54,7 @@ func (r *Router) accept(e *sim.Engine, pkt *Packet, resume func(*sim.Engine)) bo
 		op.enqueue(e, pkt, vc)
 		return true
 	}
-	op.parked[vc] = append(op.parked[vc], parkedDelivery{pkt: pkt, resume: resume})
+	op.parked[vc] = append(op.parked[vc], parkedDelivery{pkt: pkt, from: from, fromVC: fromVC})
 	return false
 }
 

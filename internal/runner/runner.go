@@ -1,0 +1,471 @@
+// Package runner assembles experiments into runnable simulations: topology,
+// routing policy, network substrate, metrics, DRB-family source controllers,
+// synthetic traffic, trace replay and fault plans all come together behind
+// one small builder. Every consumer — the public prdrb facade, the
+// experiment harness, benchmarks and examples — constructs simulations
+// through this one path, so construction-order details (RNG stream
+// derivation, controller installation, collector wiring) live in exactly
+// one place and fixed seeds reproduce identical runs everywhere.
+package runner
+
+import (
+	"fmt"
+	"sort"
+
+	"prdrb/internal/core"
+	"prdrb/internal/faults"
+	"prdrb/internal/metrics"
+	"prdrb/internal/network"
+	"prdrb/internal/provision"
+	"prdrb/internal/routing"
+	"prdrb/internal/sim"
+	"prdrb/internal/topology"
+	"prdrb/internal/trace"
+	"prdrb/internal/traffic"
+)
+
+// Policy names the routing policy under test.
+type Policy string
+
+// The seven policies of the paper's evaluation (§4.8.4) plus minimal
+// adaptive.
+const (
+	PolicyDeterministic Policy = "deterministic"
+	PolicyRandom        Policy = "random"
+	PolicyCyclic        Policy = "cyclic"
+	PolicyAdaptive      Policy = "adaptive"
+	PolicyDRB           Policy = "drb"
+	PolicyPRDRB         Policy = "pr-drb"
+	PolicyFRDRB         Policy = "fr-drb"
+	PolicyPRFRDRB       Policy = "pr-fr-drb"
+)
+
+// Policies lists every supported policy name.
+func Policies() []Policy {
+	return []Policy{PolicyDeterministic, PolicyRandom, PolicyCyclic, PolicyAdaptive,
+		PolicyDRB, PolicyPRDRB, PolicyFRDRB, PolicyPRFRDRB}
+}
+
+// IsDRBFamily reports whether the policy is source-controlled (needs ACK
+// notification).
+func (p Policy) IsDRBFamily() bool {
+	switch p {
+	case PolicyDRB, PolicyPRDRB, PolicyFRDRB, PolicyPRFRDRB:
+		return true
+	}
+	return false
+}
+
+// Experiment describes one simulation configuration.
+type Experiment struct {
+	// Topology of the fabric. Defaults to the paper's 4-ary 3-tree.
+	Topology topology.Topology
+	// Policy under test. Defaults to PolicyDeterministic.
+	Policy Policy
+	// Network overrides the physical parameters; zero value selects the
+	// Table 4.2/4.3 defaults.
+	Network *network.Config
+	// DRB overrides the policy knobs for the DRB family; zero value
+	// selects the variant's defaults.
+	DRB *core.Config
+	// Seed drives every stochastic component.
+	Seed uint64
+	// SeriesWindow enables windowed time series at this granularity
+	// (0 = disabled).
+	SeriesWindow sim.Time
+}
+
+// Sim is an assembled simulation ready to accept workloads.
+type Sim struct {
+	Exp         Experiment
+	Eng         *sim.Engine
+	Net         *network.Network
+	Collector   *metrics.Collector
+	Controllers []*core.Controller // nil entries for baselines
+	rng         *sim.RNG
+}
+
+// builder carries the intermediate state of simulation assembly. Each step
+// resolves one layer; Build applies them in order.
+type builder struct {
+	exp    Experiment
+	netCfg network.Config
+	rp     network.RouterPolicy
+	drbCfg core.Config
+	useDRB bool
+}
+
+// newBuilder normalizes the experiment's defaults.
+func newBuilder(exp Experiment) *builder {
+	if exp.Topology == nil {
+		exp.Topology = topology.NewKAryNTree(4, 3)
+	}
+	if exp.Policy == "" {
+		exp.Policy = PolicyDeterministic
+	}
+	return &builder{exp: exp}
+}
+
+// resolvePolicy picks the router policy and the notification setting.
+func (b *builder) resolvePolicy() error {
+	b.netCfg = network.DefaultConfig()
+	if b.exp.Network != nil {
+		b.netCfg = *b.exp.Network
+	}
+	if b.exp.Policy.IsDRBFamily() {
+		// DRB adaptivity lives at the sources; routers follow the
+		// multistep headers deterministically and generate notifications.
+		b.rp = routing.Deterministic{}
+		b.netCfg.GenerateAcks = true
+		b.useDRB = true
+		drbCfg, ok := core.ConfigByName(string(b.exp.Policy))
+		if !ok {
+			return fmt.Errorf("prdrb: no DRB config for %q", b.exp.Policy)
+		}
+		if b.exp.DRB != nil {
+			drbCfg = *b.exp.DRB
+		}
+		if err := drbCfg.Validate(); err != nil {
+			return err
+		}
+		b.drbCfg = drbCfg
+		return nil
+	}
+	b.rp = routing.ByName(string(b.exp.Policy), b.exp.Seed)
+	if b.rp == nil {
+		return fmt.Errorf("prdrb: unknown policy %q", b.exp.Policy)
+	}
+	if b.exp.Network == nil {
+		b.netCfg.GenerateAcks = false // baselines need no notification
+	}
+	return nil
+}
+
+// build assembles engine, collector, network and controllers.
+func (b *builder) build() (*Sim, error) {
+	eng := sim.NewEngine()
+	col := metrics.NewCollector(b.exp.Topology.NumTerminals(), b.exp.Topology.NumRouters(), b.exp.SeriesWindow)
+	net, err := network.New(eng, b.exp.Topology, b.netCfg, b.rp, col)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		Exp:       b.exp,
+		Eng:       eng,
+		Net:       net,
+		Collector: col,
+		rng:       sim.NewRNG(b.exp.Seed ^ 0xb5297a4d),
+	}
+	if b.useDRB {
+		s.Controllers = core.Install(net, b.drbCfg, b.exp.Seed+0xd4b)
+	}
+	return s, nil
+}
+
+// New builds the network, installs the routing policy and, for the DRB
+// family, one source controller per node.
+func New(exp Experiment) (*Sim, error) {
+	b := newBuilder(exp)
+	if err := b.resolvePolicy(); err != nil {
+		return nil, err
+	}
+	return b.build()
+}
+
+// MustNew is New that panics on error (examples, tests).
+func MustNew(exp Experiment) *Sim {
+	s, err := New(exp)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// InstallFaults validates the fault plan against the topology and schedules
+// its events on the simulation's engine.
+func (s *Sim) InstallFaults(plan faults.Plan) (*faults.Injector, error) {
+	return faults.Install(s.Net, plan)
+}
+
+// ParseFaults builds a fault plan from the --faults flag grammar against
+// this simulation's topology, seeded by the experiment seed.
+func (s *Sim) ParseFaults(spec string) (faults.Plan, error) {
+	return faults.ParsePlan(spec, s.Net.Topo, s.Exp.Seed)
+}
+
+// PatternSpec schedules synthetic open-loop traffic by pattern name
+// ("shuffle", "bitreversal", "transpose", "uniform").
+type PatternSpec struct {
+	Pattern  string
+	RateMbps float64
+	// Start/End bound the injection window.
+	Start, End sim.Time
+	// Nodes restricts the injecting sources (nil = all).
+	Nodes []topology.NodeID
+	// PatternNodes sets the permutation's node-space size; 0 uses the full
+	// terminal count. The paper's "32 communicating nodes" fat-tree runs
+	// use PatternNodes=32 with Nodes 0..31 on the 64-terminal tree.
+	PatternNodes int
+	// PacketBytes defaults to the network's packet size.
+	PacketBytes int
+}
+
+// InstallPattern schedules the synthetic traffic on the simulation.
+func (s *Sim) InstallPattern(spec PatternSpec) error {
+	space := spec.PatternNodes
+	if space == 0 {
+		space = s.Net.Topo.NumTerminals()
+	}
+	p, err := traffic.ByName(spec.Pattern, space)
+	if err != nil {
+		return err
+	}
+	if spec.Nodes == nil && space < s.Net.Topo.NumTerminals() {
+		for i := 0; i < space; i++ {
+			spec.Nodes = append(spec.Nodes, topology.NodeID(i))
+		}
+	}
+	pkt := spec.PacketBytes
+	if pkt == 0 {
+		pkt = s.Net.Cfg.PacketBytes
+	}
+	traffic.Install(s.Net, traffic.Spec{
+		Pattern:     p,
+		RateBps:     spec.RateMbps * 1e6,
+		PacketBytes: pkt,
+		Start:       spec.Start,
+		End:         spec.End,
+		Nodes:       spec.Nodes,
+	}, s.rng.Split(0x7a))
+	return nil
+}
+
+// InstallHotSpot schedules fixed colliding flows (§4.5) at the given
+// per-source rate within [start, end).
+func (s *Sim) InstallHotSpot(flows map[topology.NodeID]topology.NodeID, rateMbps float64, start, end sim.Time) {
+	var nodes []topology.NodeID
+	for src := range flows {
+		nodes = append(nodes, src)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	traffic.Install(s.Net, traffic.Spec{
+		Pattern:     traffic.NewHotSpot(flows),
+		RateBps:     rateMbps * 1e6,
+		PacketBytes: s.Net.Cfg.PacketBytes,
+		Start:       start,
+		End:         end,
+		Nodes:       nodes,
+	}, s.rng.Split(0x45))
+}
+
+// BurstSpec describes repeated communication bursts (Fig 2.6).
+type BurstSpec struct {
+	Pattern  string
+	RateMbps float64
+	// Len is the burst duration, Gap the compute silence after it.
+	Len, Gap sim.Time
+	// Count is the number of repetitions.
+	Count int
+	Start sim.Time
+	// PatternNodes shrinks the permutation space (see PatternSpec).
+	PatternNodes int
+}
+
+// burstFor resolves one spec into a traffic.Burst.
+func (s *Sim) burstFor(spec BurstSpec) (traffic.Burst, error) {
+	space := spec.PatternNodes
+	if space == 0 {
+		space = s.Net.Topo.NumTerminals()
+	}
+	p, err := traffic.ByName(spec.Pattern, space)
+	if err != nil {
+		return traffic.Burst{}, err
+	}
+	var nodes []topology.NodeID
+	if space < s.Net.Topo.NumTerminals() {
+		for i := 0; i < space; i++ {
+			nodes = append(nodes, topology.NodeID(i))
+		}
+	}
+	return traffic.Burst{
+		Pattern: p,
+		RateBps: spec.RateMbps * 1e6,
+		Len:     spec.Len,
+		Gap:     spec.Gap,
+		Nodes:   nodes,
+	}, nil
+}
+
+// InstallBursts schedules count pattern bursts and returns the time the
+// last burst ends.
+func (s *Sim) InstallBursts(spec BurstSpec) (sim.Time, error) {
+	b, err := s.burstFor(spec)
+	if err != nil {
+		return 0, err
+	}
+	end := traffic.InstallBursts(s.Net, []traffic.Burst{b}, spec.Start, spec.Count,
+		s.Net.Cfg.PacketBytes, s.rng.Split(0x6b))
+	return end, nil
+}
+
+// InstallVariableBursts schedules `count` bursts cycling through the given
+// specs in order — the "bursty traffic with variable pattern" of Fig 2.6b,
+// where each communication phase uses a different pattern. Rate/Len/Gap
+// come from each spec; Start from the first. It returns the end time.
+func (s *Sim) InstallVariableBursts(specs []BurstSpec, count int) (sim.Time, error) {
+	if len(specs) == 0 {
+		return 0, fmt.Errorf("prdrb: no burst specs")
+	}
+	bursts := make([]traffic.Burst, len(specs))
+	for i, spec := range specs {
+		b, err := s.burstFor(spec)
+		if err != nil {
+			return 0, err
+		}
+		bursts[i] = b
+	}
+	end := traffic.InstallBursts(s.Net, bursts, specs[0].Start, count,
+		s.Net.Cfg.PacketBytes, s.rng.Split(0x5e))
+	return end, nil
+}
+
+// PlayTrace prepares a logical-trace replay on the simulation (mapping nil
+// = rank i on node i) and starts it at time 0.
+func (s *Sim) PlayTrace(tr *trace.Trace, mapping []topology.NodeID) (*trace.Replay, error) {
+	rep, err := trace.NewReplay(s.Net, tr, mapping)
+	if err != nil {
+		return nil, err
+	}
+	rep.Start(0)
+	return rep, nil
+}
+
+// Results summarizes a finished run.
+type Results struct {
+	Policy Policy
+	// GlobalLatencyUs is the Eq 4.2 global average packet latency in
+	// microseconds.
+	GlobalLatencyUs float64
+	// P50Us / P99Us are end-to-end latency percentiles (microseconds) —
+	// the tail view the paper's averages hide.
+	P50Us, P99Us float64
+	// PeakContentionUs / PeakRouter locate the hottest router (latency-map
+	// peak).
+	PeakContentionUs float64
+	PeakRouter       string
+	// AvgContentionUs averages contention latency over active routers.
+	AvgContentionUs float64
+	// AcceptedRatio is accepted/offered packets (1 = lossless delivery).
+	AcceptedRatio float64
+	// DeliveredPkts counts packets that reached their destination.
+	DeliveredPkts int64
+	// Stats aggregates the DRB-family controller counters (zero for
+	// baselines).
+	Stats core.Stats
+	// SavedPatterns is the solution-database size across nodes (PR- only).
+	SavedPatterns int
+	// DroppedPkts counts packets lost on failed links; UnreachableMsgs
+	// counts messages refused at injection for lack of any healthy route.
+	// Both stay zero on fault-free runs.
+	DroppedPkts     int64
+	UnreachableMsgs int64
+	// Recoveries counts completed failure-to-recovery cycles;
+	// RecoveryP50Us / RecoveryP99Us are the recovery-latency percentiles in
+	// microseconds (0 when no recovery was recorded).
+	Recoveries    int64
+	RecoveryP50Us float64
+	RecoveryP99Us float64
+	// Elapsed is the simulated time consumed.
+	Elapsed sim.Time
+}
+
+// Execute runs the engine until the event queue drains or horizon passes,
+// then summarizes. It can be called repeatedly with growing horizons.
+func (s *Sim) Execute(horizon sim.Time) Results {
+	s.Eng.Run(horizon)
+	return s.Summarize()
+}
+
+// Summarize snapshots the current metrics without running the engine.
+func (s *Sim) Summarize() Results {
+	peakR, peakNs := s.Collector.Contention.Peak()
+	label := ""
+	if peakR >= 0 {
+		label = s.Net.Topo.RouterLabel(topology.RouterID(peakR))
+	}
+	res := Results{
+		Policy:           s.Exp.Policy,
+		GlobalLatencyUs:  s.Collector.Latency.Global() / 1e3,
+		P50Us:            s.Collector.Hist.Quantile(0.5) / 1e3,
+		P99Us:            s.Collector.Hist.Quantile(0.99) / 1e3,
+		PeakContentionUs: peakNs / 1e3,
+		PeakRouter:       label,
+		AvgContentionUs:  s.Collector.Contention.GlobalAvg() / 1e3,
+		AcceptedRatio:    s.Collector.Throughput.AcceptedRatio(),
+		DeliveredPkts:    s.Collector.Throughput.AcceptedPkts,
+		DroppedPkts:      s.Net.DroppedPkts,
+		UnreachableMsgs:  s.Net.UnreachableMsgs,
+		Elapsed:          s.Eng.Now(),
+	}
+	if s.Collector.Recovery.Count() > 0 {
+		res.RecoveryP50Us = s.Collector.Recovery.Quantile(0.5) / 1e3
+		res.RecoveryP99Us = s.Collector.Recovery.Quantile(0.99) / 1e3
+	}
+	if s.Controllers != nil {
+		res.Stats = core.AggregateStats(s.Controllers)
+		res.Recoveries = res.Stats.Recoveries
+		for _, c := range s.Controllers {
+			if c != nil && c.DB() != nil {
+				res.SavedPatterns += c.DB().Size()
+			}
+		}
+	}
+	return res
+}
+
+// ExportKnowledge snapshots the predictive controllers' solution
+// databases (empty for non-predictive policies).
+func (s *Sim) ExportKnowledge() *core.Knowledge {
+	return core.ExportKnowledge(s.Controllers)
+}
+
+// ImportKnowledge preloads a snapshot into this simulation's controllers.
+// The policy must be predictive (pr-drb or pr-fr-drb).
+func (s *Sim) ImportKnowledge(k *core.Knowledge) error {
+	if s.Controllers == nil {
+		return fmt.Errorf("prdrb: policy %q has no controllers to preload", s.Exp.Policy)
+	}
+	return core.ImportKnowledge(s.Controllers, k)
+}
+
+// Map builds the latency surface map (§4.2) from the contention collector.
+func (s *Sim) Map() *metrics.LatencyMap {
+	return metrics.BuildLatencyMap(s.Collector.Contention, func(r int) string {
+		return s.Net.Topo.RouterLabel(topology.RouterID(r))
+	})
+}
+
+// MapSurface renders the latency surface as a 2-D intensity grid for mesh
+// and torus topologies (the textual form of Figs 4.10/4.11); other
+// topologies fall back to the tabular map.
+func (s *Sim) MapSurface() string {
+	if m, ok := s.Net.Topo.(*topology.Mesh); ok {
+		return metrics.RenderSurface(s.Collector.Contention, m.W, m.H, func(r int) (int, int, bool) {
+			x, y := m.Coord(topology.RouterID(r))
+			return x, y, true
+		})
+	}
+	return s.Map().String()
+}
+
+// Energy converts this run's measured link occupancy into an energy
+// estimate and the savings an idle-gating policy would reach.
+func (s *Sim) Energy(m provision.EnergyModel) provision.EnergyReport {
+	return provision.Energy(s.Net.LinkStats(), s.Eng.Now(), m)
+}
+
+// String renders a one-line result summary.
+func (r Results) String() string {
+	return fmt.Sprintf("%-14s globalLat=%9.2fus peak=%9.2fus@%-8s avgCont=%8.2fus accepted=%.3f pkts=%d",
+		r.Policy, r.GlobalLatencyUs, r.PeakContentionUs, r.PeakRouter, r.AvgContentionUs, r.AcceptedRatio, r.DeliveredPkts)
+}

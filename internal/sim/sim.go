@@ -6,15 +6,23 @@
 // are modelled as callbacks scheduled on the engine, mirroring OPNET's
 // finite-state-machine processes.
 //
+// Two scheduling APIs coexist:
+//
+//   - The typed-event (actor) API — ScheduleEvent/AfterEvent — delivers a
+//     (kind, arg) pair to a long-lived Actor. Event records are recycled
+//     through a free list, so steady-state scheduling on this path performs
+//     zero allocations. All hot-path components (ports, routers, NICs,
+//     traffic sources) use it.
+//   - The closure API — Schedule/After — remains as a compatibility shim
+//     for cold paths (setup, experiment scripting, tests) where a captured
+//     environment is worth one allocation.
+//
 // Determinism: events at equal timestamps fire in scheduling order (a
 // monotonically increasing sequence number breaks ties), so a simulation is
 // a pure function of its configuration and RNG seed.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a simulation timestamp in nanoseconds.
 type Time int64
@@ -45,13 +53,26 @@ func (t Time) Micros() float64 { return float64(t) / 1e3 }
 // the engine as argument so it can schedule follow-up events.
 type Handler func(e *Engine)
 
+// Actor receives typed events. kind and arg are opaque to the engine; each
+// actor defines its own kind space. Delivering to a persistent object with a
+// payload word — instead of a fresh closure — is what makes the hot path
+// allocation-free.
+type Actor interface {
+	HandleEvent(e *Engine, kind uint8, arg uint64)
+}
+
 // event is a queue entry. seq breaks timestamp ties deterministically.
+// Exactly one of fn / actor is set.
 type event struct {
-	at        Time
-	seq       uint64
-	fn        Handler
+	at  Time
+	seq uint64
+	fn  Handler
+	// actor-dispatch fields; used when actor != nil.
+	actor     Actor
+	arg       uint64
+	kind      uint8
 	cancelled bool
-	index     int // heap index, maintained by eventHeap
+	index     int32 // heap index; -1 once popped
 	// gen guards recycled records: an EventID from a previous life of this
 	// record must not cancel its current occupant.
 	gen uint32
@@ -67,43 +88,21 @@ type EventID struct {
 // fired) event.
 func (id EventID) Valid() bool { return id.ev != nil }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
-
 // Engine is a discrete-event simulation kernel.
 //
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	queue   []*event
 	stopped bool
+	// pending counts scheduled, not-yet-fired, not-cancelled events; the
+	// queue itself may additionally hold cancelled records awaiting pop.
+	pending int
+	// peakQueue tracks the high-water mark of the queue so the free list can
+	// be sized to the simulation's observed depth (a saturated 64-node run
+	// keeps tens of thousands of events in flight).
+	peakQueue int
 	// free recycles fired event records; a saturated simulation schedules
 	// millions of events and the heap entries dominate allocation churn.
 	free []*event
@@ -112,22 +111,111 @@ type Engine struct {
 }
 
 // NewEngine returns an engine with the clock at zero.
-func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.queue)
-	return e
-}
+func NewEngine() *Engine { return &Engine{} }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Len returns the number of pending (non-cancelled) events. Cancelled events
-// still occupy the queue until popped, so this is an upper bound used only
-// for diagnostics and tests.
-func (e *Engine) Len() int { return len(e.queue) }
+// Len returns the number of pending events. Cancelled events are excluded:
+// they still occupy the internal queue until popped, but will never fire.
+func (e *Engine) Len() int { return e.pending }
+
+// eventLess orders the heap by (time, sequence): earliest first, and FIFO
+// among events at the same timestamp.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// heapPush inserts ev, maintaining heap order and index fields. Hand-rolled
+// (rather than container/heap) to avoid interface-method calls and the
+// `any`-boxing of Push/Pop on the hottest loop in the simulator.
+func (e *Engine) heapPush(ev *event) {
+	q := append(e.queue, ev)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(ev, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].index = int32(i)
+		i = parent
+	}
+	q[i] = ev
+	ev.index = int32(i)
+	e.queue = q
+	if len(q) > e.peakQueue {
+		e.peakQueue = len(q)
+	}
+}
+
+// heapPop removes and returns the earliest event.
+func (e *Engine) heapPop() *event {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	q = q[:n]
+	e.queue = q
+	top.index = -1
+	if n > 0 {
+		e.siftDown(last, 0)
+	}
+	return top
+}
+
+// siftDown places ev at heap position i, moving it toward the leaves until
+// heap order holds.
+func (e *Engine) siftDown(ev *event, i int) {
+	q := e.queue
+	n := len(q)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && eventLess(q[r], q[child]) {
+			child = r
+		}
+		if !eventLess(q[child], ev) {
+			break
+		}
+		q[i] = q[child]
+		q[i].index = int32(i)
+		i = child
+	}
+	q[i] = ev
+	ev.index = int32(i)
+}
+
+// alloc takes an event record from the free list (or the heap allocator),
+// stamps it with the scheduling metadata, and enqueues it.
+func (e *Engine) alloc(at Time) *event {
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		gen := ev.gen + 1
+		*ev = event{at: at, seq: e.seq, gen: gen}
+	} else {
+		ev = &event{at: at, seq: e.seq}
+	}
+	e.seq++
+	e.pending++
+	e.heapPush(ev)
+	return ev
+}
 
 // Schedule runs fn at absolute time at. Scheduling in the past panics: that
 // is always a model bug and silently reordering would destroy causality.
+//
+// This is the closure-based compatibility API; hot paths should use
+// ScheduleEvent, which does not allocate in steady state.
 func (e *Engine) Schedule(at Time, fn Handler) EventID {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
@@ -135,16 +223,8 @@ func (e *Engine) Schedule(at Time, fn Handler) EventID {
 	if fn == nil {
 		panic("sim: nil handler")
 	}
-	var ev *event
-	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free = e.free[:n-1]
-		*ev = event{at: at, seq: e.seq, fn: fn, gen: ev.gen + 1}
-	} else {
-		ev = &event{at: at, seq: e.seq, fn: fn}
-	}
-	e.seq++
-	heap.Push(&e.queue, ev)
+	ev := e.alloc(at)
+	ev.fn = fn
 	return EventID{ev: ev, gen: ev.gen}
 }
 
@@ -156,6 +236,30 @@ func (e *Engine) After(d Time, fn Handler) EventID {
 	return e.Schedule(e.now+d, fn)
 }
 
+// ScheduleEvent delivers (kind, arg) to a at absolute time at. In steady
+// state (free list warm) this performs no allocation.
+func (e *Engine) ScheduleEvent(at Time, a Actor, kind uint8, arg uint64) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if a == nil {
+		panic("sim: nil actor")
+	}
+	ev := e.alloc(at)
+	ev.actor = a
+	ev.kind = kind
+	ev.arg = arg
+	return EventID{ev: ev, gen: ev.gen}
+}
+
+// AfterEvent delivers (kind, arg) to a after delay d.
+func (e *Engine) AfterEvent(d Time, a Actor, kind uint8, arg uint64) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.ScheduleEvent(e.now+d, a, kind, arg)
+}
+
 // Cancel marks a pending event so it will not fire. Cancelling an already
 // fired or already cancelled event is a no-op. Returns whether the event was
 // pending.
@@ -164,6 +268,7 @@ func (e *Engine) Cancel(id EventID) bool {
 		return false
 	}
 	id.ev.cancelled = true
+	e.pending--
 	return true
 }
 
@@ -174,16 +279,23 @@ func (e *Engine) Stop() { e.stopped = true }
 // empty or the engine is stopped.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
+		ev := e.heapPop()
 		if ev.cancelled {
 			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		e.Processed++
-		fn := ev.fn
-		e.recycle(ev)
-		fn(e)
+		e.pending--
+		if a := ev.actor; a != nil {
+			kind, arg := ev.kind, ev.arg
+			e.recycle(ev)
+			a.HandleEvent(e, kind, arg)
+		} else {
+			fn := ev.fn
+			e.recycle(ev)
+			fn(e)
+		}
 		return true
 	}
 	return false
@@ -193,10 +305,20 @@ func (e *Engine) Step() bool {
 // EventIDs referring to it become stale, which Cancel tolerates: a fired
 // event has index -1 only transiently — after reuse it may be live again,
 // so cancellation through a stale ID could hit the wrong event. Guard by
-// generation: the seq field differs after reuse.
+// generation: the gen field differs after reuse.
+//
+// The free list is sized from the observed queue depth (plus slack) rather
+// than a fixed cap: a saturated 64-node run keeps far more than a thousand
+// events pending, and recycling must keep up with that churn for the typed
+// path to stay allocation-free.
 func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
-	if len(e.free) < 1024 {
+	ev.actor = nil
+	limit := e.peakQueue + 64
+	if limit < 1024 {
+		limit = 1024
+	}
+	if len(e.free) < limit {
 		e.free = append(e.free, ev)
 	}
 }
@@ -211,7 +333,10 @@ func (e *Engine) Run(horizon Time) uint64 {
 		// Peek: stop before executing events at/after the horizon.
 		next := e.queue[0]
 		if next.cancelled {
-			heap.Pop(&e.queue)
+			// Recycle, not just pop: cancel-heavy runs (watchdog timers,
+			// fault repair) would otherwise leak every cancelled record
+			// past the free list.
+			e.recycle(e.heapPop())
 			continue
 		}
 		if next.at >= horizon {
@@ -226,7 +351,8 @@ func (e *Engine) Run(horizon Time) uint64 {
 func (e *Engine) RunAll() uint64 { return e.Run(Infinity) }
 
 // Timer is a restartable one-shot timer built on the engine, used for
-// watchdogs (the FR-DRB fast-response variant, thesis §4.8.4).
+// watchdogs (the FR-DRB fast-response variant, thesis §4.8.4). It is its own
+// actor, so re-arming an existing timer does not allocate.
 type Timer struct {
 	eng *Engine
 	id  EventID
@@ -241,14 +367,17 @@ func NewTimer(eng *Engine, fn Handler) *Timer {
 	return &Timer{eng: eng, fn: fn}
 }
 
+// HandleEvent implements Actor: the timer expired.
+func (t *Timer) HandleEvent(e *Engine, kind uint8, arg uint64) {
+	t.id = EventID{}
+	t.fn(e)
+}
+
 // Reset (re)arms the timer to fire after d. Any previously armed expiry is
 // cancelled.
 func (t *Timer) Reset(d Time) {
 	t.Stop()
-	t.id = t.eng.After(d, func(e *Engine) {
-		t.id = EventID{}
-		t.fn(e)
-	})
+	t.id = t.eng.AfterEvent(d, t, 0, 0)
 }
 
 // Stop disarms the timer. It is a no-op if the timer is not armed.

@@ -20,6 +20,8 @@ type Grid struct {
 
 	stride []int // stride[d] = product of Dims[:d]
 	size   int
+	// onePort backs MinimalPorts' answers (shared, valid until next call).
+	onePort [1]int
 }
 
 // NewGrid builds an n-dimensional mesh (wrap=false) or torus (wrap=true).
@@ -202,9 +204,11 @@ func (g *Grid) NextHop(r RouterID, dst NodeID) int {
 func (g *Grid) MinimalPorts(r RouterID, dst NodeID) []int {
 	tr, tp := g.TerminalAttach(dst)
 	if r == tr {
-		return []int{tp}
+		g.onePort[0] = tp
+	} else {
+		g.onePort[0] = g.NextHopToRouter(r, tr)
 	}
-	return []int{g.NextHopToRouter(r, tr)}
+	return g.onePort[:]
 }
 
 // AlternativePaths implements Topology: two-waypoint MSPs through routers

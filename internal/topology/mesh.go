@@ -23,6 +23,9 @@ const (
 type Mesh struct {
 	W, H int
 	Wrap bool
+	// onePort backs MinimalPorts' single-port answers (see the MinimalPorts
+	// contract in Topology: shared, valid until the next call).
+	onePort [1]int
 }
 
 // NewMesh returns a W x H mesh. It panics on non-positive dimensions.
@@ -186,19 +189,21 @@ func (m *Mesh) NextHop(r RouterID, dst NodeID) int {
 func (m *Mesh) MinimalPorts(r RouterID, dst NodeID) []int {
 	tr, tp := m.TerminalAttach(dst)
 	if r == tr {
-		return []int{tp}
+		m.onePort[0] = tp
+	} else {
+		dx, dy := m.deltas(r, tr)
+		switch {
+		case dx > 0:
+			m.onePort[0] = meshEast
+		case dx < 0:
+			m.onePort[0] = meshWest
+		case dy > 0:
+			m.onePort[0] = meshNorth
+		default:
+			m.onePort[0] = meshSouth
+		}
 	}
-	dx, dy := m.deltas(r, tr)
-	switch {
-	case dx > 0:
-		return []int{meshEast}
-	case dx < 0:
-		return []int{meshWest}
-	case dy > 0:
-		return []int{meshNorth}
-	default:
-		return []int{meshSouth}
-	}
+	return m.onePort[:]
 }
 
 // AlternativePaths implements Topology. Candidate MSPs use two waypoint

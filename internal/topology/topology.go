@@ -84,6 +84,9 @@ type Topology interface {
 	NextHop(r RouterID, dst NodeID) int
 	// MinimalPorts returns every output port at r that lies on a minimal
 	// continuation toward dst. Adaptive policies choose among these.
+	// The returned slice is shared scratch owned by the topology: it is
+	// only valid until the next MinimalPorts call and must not be mutated
+	// (this keeps the per-routing-decision call allocation-free).
 	MinimalPorts(r RouterID, dst NodeID) []int
 	// NextHopToRouter returns the output port at r on the deterministic
 	// minimal route toward waypoint router target. r == target is invalid.

@@ -26,6 +26,12 @@ type KAryNTree struct {
 	switches int       // per level: K^(N-1)
 	terms    int       // K^N
 	dist     [][]int16 // all-pairs router distances, BFS-precomputed
+	// upPorts is the shared all-up-ports answer of MinimalPorts (identical
+	// for every below-ancestor query); onePort backs its single-port answers.
+	// Both make the per-routing-decision call allocation-free; see the
+	// MinimalPorts contract in Topology.
+	upPorts []int
+	onePort [1]int
 }
 
 // NewKAryNTree builds a k-ary n-tree. It panics unless k >= 2 and n >= 2.
@@ -38,6 +44,10 @@ func NewKAryNTree(k, n int) *KAryNTree {
 		per *= k
 	}
 	t := &KAryNTree{K: k, N: n, switches: per, terms: per * k}
+	t.upPorts = make([]int, k)
+	for i := range t.upPorts {
+		t.upPorts[i] = k + i
+	}
 	t.precomputeDistances()
 	return t
 }
@@ -216,13 +226,10 @@ func (t *KAryNTree) NextHop(r RouterID, dst NodeID) int {
 // down port does.
 func (t *KAryNTree) MinimalPorts(r RouterID, dst NodeID) []int {
 	if t.IsAncestor(r, dst) {
-		return []int{t.downPort(r, dst)}
+		t.onePort[0] = t.downPort(r, dst)
+		return t.onePort[:]
 	}
-	ports := make([]int, t.K)
-	for i := range ports {
-		ports[i] = t.K + i
-	}
-	return ports
+	return t.upPorts
 }
 
 // NextHopToRouter implements Topology. The target must be reachable purely

@@ -31,21 +31,21 @@
 //
 // All behaviour is deterministic given (Experiment, workload): the same
 // seed reproduces the same packet-level schedule.
+//
+// This package is a thin facade: simulation assembly lives in
+// internal/runner, and every name here is an alias or one-line delegate so
+// downstream users never need the internal packages.
 package prdrb
 
 import (
-	"fmt"
-	"sort"
-
 	"prdrb/internal/core"
 	"prdrb/internal/faults"
 	"prdrb/internal/metrics"
 	"prdrb/internal/network"
-	"prdrb/internal/routing"
+	"prdrb/internal/runner"
 	"prdrb/internal/sim"
 	"prdrb/internal/topology"
 	"prdrb/internal/trace"
-	"prdrb/internal/traffic"
 )
 
 // Re-exported time units (nanosecond-based virtual time).
@@ -93,7 +93,41 @@ type (
 	FaultEvent = faults.Event
 	// FaultInjector executes a FaultPlan against a running simulation.
 	FaultInjector = faults.Injector
+
+	// Policy names the routing policy under test.
+	Policy = runner.Policy
+	// Experiment describes one simulation configuration.
+	Experiment = runner.Experiment
+	// Sim is an assembled simulation ready to accept workloads.
+	Sim = runner.Sim
+	// Results summarizes a finished run.
+	Results = runner.Results
+	// PatternSpec schedules synthetic open-loop traffic by pattern name.
+	PatternSpec = runner.PatternSpec
+	// BurstSpec describes repeated communication bursts (Fig 2.6).
+	BurstSpec = runner.BurstSpec
+	// Knowledge is a serializable snapshot of the PR-DRB solution databases —
+	// the "static variation" of thesis §5.2. Export after a training run and
+	// import into a fresh simulation so patterns are recognized from their
+	// first occurrence.
+	Knowledge = core.Knowledge
 )
+
+// The seven policies of the paper's evaluation (§4.8.4) plus minimal
+// adaptive.
+const (
+	PolicyDeterministic = runner.PolicyDeterministic
+	PolicyRandom        = runner.PolicyRandom
+	PolicyCyclic        = runner.PolicyCyclic
+	PolicyAdaptive      = runner.PolicyAdaptive
+	PolicyDRB           = runner.PolicyDRB
+	PolicyPRDRB         = runner.PolicyPRDRB
+	PolicyFRDRB         = runner.PolicyFRDRB
+	PolicyPRFRDRB       = runner.PolicyPRFRDRB
+)
+
+// Policies lists every supported policy name.
+func Policies() []Policy { return runner.Policies() }
 
 // Mesh returns a w x h 2-D mesh with one terminal per router.
 func Mesh(w, h int) Topology { return topology.NewMesh(w, h) }
@@ -115,435 +149,17 @@ func Torus3D(x, y, z int) Topology { return topology.NewTorus3D(x, y, z) }
 // Grid returns an arbitrary n-dimensional mesh or torus.
 func Grid(dims []int, wrap bool) Topology { return topology.NewGrid(dims, wrap) }
 
-// Policy names the routing policy under test.
-type Policy string
-
-// The seven policies of the paper's evaluation (§4.8.4) plus minimal
-// adaptive.
-const (
-	PolicyDeterministic Policy = "deterministic"
-	PolicyRandom        Policy = "random"
-	PolicyCyclic        Policy = "cyclic"
-	PolicyAdaptive      Policy = "adaptive"
-	PolicyDRB           Policy = "drb"
-	PolicyPRDRB         Policy = "pr-drb"
-	PolicyFRDRB         Policy = "fr-drb"
-	PolicyPRFRDRB       Policy = "pr-fr-drb"
-)
-
-// Policies lists every supported policy name.
-func Policies() []Policy {
-	return []Policy{PolicyDeterministic, PolicyRandom, PolicyCyclic, PolicyAdaptive,
-		PolicyDRB, PolicyPRDRB, PolicyFRDRB, PolicyPRFRDRB}
-}
-
-// IsDRBFamily reports whether the policy is source-controlled (needs ACK
-// notification).
-func (p Policy) IsDRBFamily() bool {
-	switch p {
-	case PolicyDRB, PolicyPRDRB, PolicyFRDRB, PolicyPRFRDRB:
-		return true
-	}
-	return false
-}
-
-// Experiment describes one simulation configuration.
-type Experiment struct {
-	// Topology of the fabric. Defaults to the paper's 4-ary 3-tree.
-	Topology Topology
-	// Policy under test. Defaults to PolicyDeterministic.
-	Policy Policy
-	// Network overrides the physical parameters; zero value selects the
-	// Table 4.2/4.3 defaults.
-	Network *NetworkConfig
-	// DRB overrides the policy knobs for the DRB family; zero value
-	// selects the variant's defaults.
-	DRB *PolicyConfig
-	// Seed drives every stochastic component.
-	Seed uint64
-	// SeriesWindow enables windowed time series at this granularity
-	// (0 = disabled).
-	SeriesWindow Time
-}
-
-// Sim is an assembled simulation ready to accept workloads.
-type Sim struct {
-	Exp         Experiment
-	Eng         *sim.Engine
-	Net         *network.Network
-	Collector   *metrics.Collector
-	Controllers []*core.Controller // nil entries for baselines
-	rng         *sim.RNG
-}
-
 // NewSim builds the network, installs the routing policy and, for the DRB
-// family, one source controller per node.
-func NewSim(exp Experiment) (*Sim, error) {
-	if exp.Topology == nil {
-		exp.Topology = FatTree(4, 3)
-	}
-	if exp.Policy == "" {
-		exp.Policy = PolicyDeterministic
-	}
-	netCfg := network.DefaultConfig()
-	if exp.Network != nil {
-		netCfg = *exp.Network
-	}
-
-	var rp network.RouterPolicy
-	if exp.Policy.IsDRBFamily() {
-		// DRB adaptivity lives at the sources; routers follow the
-		// multistep headers deterministically and generate notifications.
-		rp = routing.Deterministic{}
-		netCfg.GenerateAcks = true
-	} else {
-		rp = routing.ByName(string(exp.Policy), exp.Seed)
-		if rp == nil {
-			return nil, fmt.Errorf("prdrb: unknown policy %q", exp.Policy)
-		}
-		if exp.Network == nil {
-			netCfg.GenerateAcks = false // baselines need no notification
-		}
-	}
-
-	eng := sim.NewEngine()
-	col := metrics.NewCollector(exp.Topology.NumTerminals(), exp.Topology.NumRouters(), exp.SeriesWindow)
-	net, err := network.New(eng, exp.Topology, netCfg, rp, col)
-	if err != nil {
-		return nil, err
-	}
-	s := &Sim{
-		Exp:       exp,
-		Eng:       eng,
-		Net:       net,
-		Collector: col,
-		rng:       sim.NewRNG(exp.Seed ^ 0xb5297a4d),
-	}
-	if exp.Policy.IsDRBFamily() {
-		drbCfg, ok := core.ConfigByName(string(exp.Policy))
-		if !ok {
-			return nil, fmt.Errorf("prdrb: no DRB config for %q", exp.Policy)
-		}
-		if exp.DRB != nil {
-			drbCfg = *exp.DRB
-		}
-		if err := drbCfg.Validate(); err != nil {
-			return nil, err
-		}
-		s.Controllers = core.Install(net, drbCfg, exp.Seed+0xd4b)
-	}
-	return s, nil
-}
+// family, one source controller per node. Assembly itself lives in
+// internal/runner's builder; this is the stable public entry point.
+func NewSim(exp Experiment) (*Sim, error) { return runner.New(exp) }
 
 // MustNewSim is NewSim that panics on error (examples, tests).
-func MustNewSim(exp Experiment) *Sim {
-	s, err := NewSim(exp)
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
-
-// InstallFaults validates the fault plan against the topology and schedules
-// its events on the simulation's engine. The spec grammar of ParseFaults is
-// the usual way to author plans by hand; RandomLinkFaults generates seeded
-// reproducible ones.
-func (s *Sim) InstallFaults(plan FaultPlan) (*FaultInjector, error) {
-	return faults.Install(s.Net, plan)
-}
-
-// ParseFaults builds a fault plan from the --faults flag grammar (e.g.
-// "link@500us:3.1+2ms, rand2@1ms~500us") against this simulation's
-// topology, seeded by the experiment seed.
-func (s *Sim) ParseFaults(spec string) (FaultPlan, error) {
-	return faults.ParsePlan(spec, s.Net.Topo, s.Exp.Seed)
-}
+func MustNewSim(exp Experiment) *Sim { return runner.MustNew(exp) }
 
 // RandomLinkFaults generates a reproducible plan failing n distinct
 // inter-router links at seeded-uniform times in [start, start+spread], each
 // repaired mttr later (mttr 0 = permanent).
 func RandomLinkFaults(topo Topology, seed uint64, n int, start, spread, mttr Time) FaultPlan {
 	return faults.RandomLinkFaults(topo, seed, n, start, spread, mttr)
-}
-
-// PatternSpec schedules synthetic open-loop traffic by pattern name
-// ("shuffle", "bitreversal", "transpose", "uniform").
-type PatternSpec struct {
-	Pattern  string
-	RateMbps float64
-	// Start/End bound the injection window.
-	Start, End Time
-	// Nodes restricts the injecting sources (nil = all).
-	Nodes []NodeID
-	// PatternNodes sets the permutation's node-space size; 0 uses the full
-	// terminal count. The paper's "32 communicating nodes" fat-tree runs
-	// use PatternNodes=32 with Nodes 0..31 on the 64-terminal tree.
-	PatternNodes int
-	// PacketBytes defaults to the network's packet size.
-	PacketBytes int
-}
-
-// InstallPattern schedules the synthetic traffic on the simulation.
-func (s *Sim) InstallPattern(spec PatternSpec) error {
-	space := spec.PatternNodes
-	if space == 0 {
-		space = s.Net.Topo.NumTerminals()
-	}
-	p, err := traffic.ByName(spec.Pattern, space)
-	if err != nil {
-		return err
-	}
-	if spec.Nodes == nil && space < s.Net.Topo.NumTerminals() {
-		for i := 0; i < space; i++ {
-			spec.Nodes = append(spec.Nodes, NodeID(i))
-		}
-	}
-	pkt := spec.PacketBytes
-	if pkt == 0 {
-		pkt = s.Net.Cfg.PacketBytes
-	}
-	traffic.Install(s.Net, traffic.Spec{
-		Pattern:     p,
-		RateBps:     spec.RateMbps * 1e6,
-		PacketBytes: pkt,
-		Start:       spec.Start,
-		End:         spec.End,
-		Nodes:       spec.Nodes,
-	}, s.rng.Split(0x7a))
-	return nil
-}
-
-// InstallHotSpot schedules fixed colliding flows (§4.5) at the given
-// per-source rate within [start, end).
-func (s *Sim) InstallHotSpot(flows map[NodeID]NodeID, rateMbps float64, start, end Time) {
-	var nodes []NodeID
-	for src := range flows {
-		nodes = append(nodes, src)
-	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-	traffic.Install(s.Net, traffic.Spec{
-		Pattern:     traffic.NewHotSpot(flows),
-		RateBps:     rateMbps * 1e6,
-		PacketBytes: s.Net.Cfg.PacketBytes,
-		Start:       start,
-		End:         end,
-		Nodes:       nodes,
-	}, s.rng.Split(0x45))
-}
-
-// BurstSpec describes repeated communication bursts (Fig 2.6).
-type BurstSpec struct {
-	Pattern  string
-	RateMbps float64
-	// Len is the burst duration, Gap the compute silence after it.
-	Len, Gap Time
-	// Count is the number of repetitions.
-	Count int
-	Start Time
-	// PatternNodes shrinks the permutation space (see PatternSpec).
-	PatternNodes int
-}
-
-// InstallBursts schedules count pattern bursts and returns the time the
-// last burst ends.
-func (s *Sim) InstallBursts(spec BurstSpec) (Time, error) {
-	space := spec.PatternNodes
-	if space == 0 {
-		space = s.Net.Topo.NumTerminals()
-	}
-	p, err := traffic.ByName(spec.Pattern, space)
-	if err != nil {
-		return 0, err
-	}
-	var nodes []NodeID
-	if space < s.Net.Topo.NumTerminals() {
-		for i := 0; i < space; i++ {
-			nodes = append(nodes, NodeID(i))
-		}
-	}
-	end := traffic.InstallBursts(s.Net, []traffic.Burst{{
-		Pattern: p,
-		RateBps: spec.RateMbps * 1e6,
-		Len:     spec.Len,
-		Gap:     spec.Gap,
-		Nodes:   nodes,
-	}}, spec.Start, spec.Count, s.Net.Cfg.PacketBytes, s.rng.Split(0x6b))
-	return end, nil
-}
-
-// InstallVariableBursts schedules `count` bursts cycling through the given
-// specs in order — the "bursty traffic with variable pattern" of Fig 2.6b,
-// where each communication phase uses a different pattern. Rate/Len/Gap
-// come from each spec; Start from the first. It returns the end time.
-func (s *Sim) InstallVariableBursts(specs []BurstSpec, count int) (Time, error) {
-	if len(specs) == 0 {
-		return 0, fmt.Errorf("prdrb: no burst specs")
-	}
-	bursts := make([]traffic.Burst, len(specs))
-	for i, spec := range specs {
-		space := spec.PatternNodes
-		if space == 0 {
-			space = s.Net.Topo.NumTerminals()
-		}
-		p, err := traffic.ByName(spec.Pattern, space)
-		if err != nil {
-			return 0, err
-		}
-		var nodes []NodeID
-		if space < s.Net.Topo.NumTerminals() {
-			for n := 0; n < space; n++ {
-				nodes = append(nodes, NodeID(n))
-			}
-		}
-		bursts[i] = traffic.Burst{
-			Pattern: p,
-			RateBps: spec.RateMbps * 1e6,
-			Len:     spec.Len,
-			Gap:     spec.Gap,
-			Nodes:   nodes,
-		}
-	}
-	end := traffic.InstallBursts(s.Net, bursts, specs[0].Start, count, s.Net.Cfg.PacketBytes, s.rng.Split(0x5e))
-	return end, nil
-}
-
-// PlayTrace prepares a logical-trace replay on the simulation (mapping nil
-// = rank i on node i) and starts it at time 0.
-func (s *Sim) PlayTrace(tr *Trace, mapping []NodeID) (*Replay, error) {
-	rep, err := trace.NewReplay(s.Net, tr, mapping)
-	if err != nil {
-		return nil, err
-	}
-	rep.Start(0)
-	return rep, nil
-}
-
-// Results summarizes a finished run.
-type Results struct {
-	Policy Policy
-	// GlobalLatencyUs is the Eq 4.2 global average packet latency in
-	// microseconds.
-	GlobalLatencyUs float64
-	// P50Us / P99Us are end-to-end latency percentiles (microseconds) —
-	// the tail view the paper's averages hide.
-	P50Us, P99Us float64
-	// PeakContentionUs / PeakRouter locate the hottest router (latency-map
-	// peak).
-	PeakContentionUs float64
-	PeakRouter       string
-	// AvgContentionUs averages contention latency over active routers.
-	AvgContentionUs float64
-	// AcceptedRatio is accepted/offered packets (1 = lossless delivery).
-	AcceptedRatio float64
-	// DeliveredPkts counts packets that reached their destination.
-	DeliveredPkts int64
-	// Stats aggregates the DRB-family controller counters (zero for
-	// baselines).
-	Stats ControllerStats
-	// SavedPatterns is the solution-database size across nodes (PR- only).
-	SavedPatterns int
-	// DroppedPkts counts packets lost on failed links; UnreachableMsgs
-	// counts messages refused at injection for lack of any healthy route.
-	// Both stay zero on fault-free runs.
-	DroppedPkts     int64
-	UnreachableMsgs int64
-	// Recoveries counts completed failure-to-recovery cycles;
-	// RecoveryP50Us / RecoveryP99Us are the recovery-latency percentiles in
-	// microseconds (0 when no recovery was recorded).
-	Recoveries    int64
-	RecoveryP50Us float64
-	RecoveryP99Us float64
-	// Elapsed is the simulated time consumed.
-	Elapsed Time
-}
-
-// Execute runs the engine until the event queue drains or horizon passes,
-// then summarizes. It can be called repeatedly with growing horizons.
-func (s *Sim) Execute(horizon Time) Results {
-	s.Eng.Run(horizon)
-	return s.Summarize()
-}
-
-// Summarize snapshots the current metrics without running the engine.
-func (s *Sim) Summarize() Results {
-	peakR, peakNs := s.Collector.Contention.Peak()
-	label := ""
-	if peakR >= 0 {
-		label = s.Net.Topo.RouterLabel(topology.RouterID(peakR))
-	}
-	res := Results{
-		Policy:           s.Exp.Policy,
-		GlobalLatencyUs:  s.Collector.Latency.Global() / 1e3,
-		P50Us:            s.Collector.Hist.Quantile(0.5) / 1e3,
-		P99Us:            s.Collector.Hist.Quantile(0.99) / 1e3,
-		PeakContentionUs: peakNs / 1e3,
-		PeakRouter:       label,
-		AvgContentionUs:  s.Collector.Contention.GlobalAvg() / 1e3,
-		AcceptedRatio:    s.Collector.Throughput.AcceptedRatio(),
-		DeliveredPkts:    s.Collector.Throughput.AcceptedPkts,
-		DroppedPkts:      s.Net.DroppedPkts,
-		UnreachableMsgs:  s.Net.UnreachableMsgs,
-		Elapsed:          s.Eng.Now(),
-	}
-	if s.Collector.Recovery.Count() > 0 {
-		res.RecoveryP50Us = s.Collector.Recovery.Quantile(0.5) / 1e3
-		res.RecoveryP99Us = s.Collector.Recovery.Quantile(0.99) / 1e3
-	}
-	if s.Controllers != nil {
-		res.Stats = core.AggregateStats(s.Controllers)
-		res.Recoveries = res.Stats.Recoveries
-		for _, c := range s.Controllers {
-			if c != nil && c.DB() != nil {
-				res.SavedPatterns += c.DB().Size()
-			}
-		}
-	}
-	return res
-}
-
-// Knowledge is a serializable snapshot of the PR-DRB solution databases —
-// the "static variation" of thesis §5.2. Export after a training run and
-// import into a fresh simulation so patterns are recognized from their
-// first occurrence.
-type Knowledge = core.Knowledge
-
-// ExportKnowledge snapshots the predictive controllers' solution
-// databases (empty for non-predictive policies).
-func (s *Sim) ExportKnowledge() *Knowledge {
-	return core.ExportKnowledge(s.Controllers)
-}
-
-// ImportKnowledge preloads a snapshot into this simulation's controllers.
-// The policy must be predictive (pr-drb or pr-fr-drb).
-func (s *Sim) ImportKnowledge(k *Knowledge) error {
-	if s.Controllers == nil {
-		return fmt.Errorf("prdrb: policy %q has no controllers to preload", s.Exp.Policy)
-	}
-	return core.ImportKnowledge(s.Controllers, k)
-}
-
-// Map builds the latency surface map (§4.2) from the contention collector.
-func (s *Sim) Map() *LatencyMap {
-	return metrics.BuildLatencyMap(s.Collector.Contention, func(r int) string {
-		return s.Net.Topo.RouterLabel(topology.RouterID(r))
-	})
-}
-
-// MapSurface renders the latency surface as a 2-D intensity grid for mesh
-// and torus topologies (the textual form of Figs 4.10/4.11); other
-// topologies fall back to the tabular map.
-func (s *Sim) MapSurface() string {
-	if m, ok := s.Net.Topo.(*topology.Mesh); ok {
-		return metrics.RenderSurface(s.Collector.Contention, m.W, m.H, func(r int) (int, int, bool) {
-			x, y := m.Coord(topology.RouterID(r))
-			return x, y, true
-		})
-	}
-	return s.Map().String()
-}
-
-// String renders a one-line result summary.
-func (r Results) String() string {
-	return fmt.Sprintf("%-14s globalLat=%9.2fus peak=%9.2fus@%-8s avgCont=%8.2fus accepted=%.3f pkts=%d",
-		r.Policy, r.GlobalLatencyUs, r.PeakContentionUs, r.PeakRouter, r.AvgContentionUs, r.AcceptedRatio, r.DeliveredPkts)
 }

@@ -136,9 +136,3 @@ type (
 
 // DefaultEnergyModel returns QDR-class per-link power figures.
 func DefaultEnergyModel() EnergyModel { return provision.DefaultEnergyModel() }
-
-// Energy converts this run's measured link occupancy into an energy
-// estimate and the savings an idle-gating policy would reach.
-func (s *Sim) Energy(m EnergyModel) EnergyReport {
-	return provision.Energy(s.Net.LinkStats(), s.Eng.Now(), m)
-}

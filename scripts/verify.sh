@@ -16,4 +16,10 @@ go build ./...
 echo "==> go test -race ./... $*"
 go test -race "$@" ./...
 
+echo "==> zero-alloc guard (TestHotPathZeroAlloc)"
+go test -run TestHotPathZeroAlloc -count=1 .
+
+echo "==> bench smoke (BenchmarkHotPath, 1 iteration)"
+go test -run '^$' -bench BenchmarkHotPath -benchtime 1x .
+
 echo "==> verify OK"
