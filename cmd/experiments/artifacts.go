@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"os/signal"
+	"sync"
+)
+
+// artifact is a run output written atomically: bytes go to a ".tmp"
+// sibling and the final name appears only on Commit. An interrupted
+// harness therefore never leaves truncated reports, CSVs or JSON
+// artifacts behind — a partial file is either still named ".tmp" (and
+// removed by the signal handler) or was never created at all.
+type artifact struct {
+	f     *os.File
+	final string
+}
+
+// openArtifacts tracks every in-flight temp file so the SIGINT handler
+// can sweep them. Workers create artifacts concurrently, hence the lock.
+var openArtifacts = struct {
+	sync.Mutex
+	m map[*artifact]struct{}
+}{m: map[*artifact]struct{}{}}
+
+func createArtifact(path string) (*artifact, error) {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return nil, err
+	}
+	a := &artifact{f: f, final: path}
+	openArtifacts.Lock()
+	openArtifacts.m[a] = struct{}{}
+	openArtifacts.Unlock()
+	return a, nil
+}
+
+func (a *artifact) Write(p []byte) (int, error) { return a.f.Write(p) }
+
+// Commit closes the temp file and renames it into place.
+func (a *artifact) Commit() error {
+	openArtifacts.Lock()
+	delete(openArtifacts.m, a)
+	openArtifacts.Unlock()
+	if err := a.f.Close(); err != nil {
+		os.Remove(a.f.Name())
+		return err
+	}
+	return os.Rename(a.f.Name(), a.final)
+}
+
+// Abort closes and removes the temp file without publishing it.
+func (a *artifact) Abort() {
+	openArtifacts.Lock()
+	delete(openArtifacts.m, a)
+	openArtifacts.Unlock()
+	a.f.Close()
+	os.Remove(a.f.Name())
+}
+
+// installInterruptCleanup makes ^C safe: on SIGINT every in-flight temp
+// artifact is closed and removed, then the harness exits 130. Committed
+// outputs are untouched — the results directory only ever holds complete
+// files.
+func installInterruptCleanup() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	go func() {
+		<-ch
+		openArtifacts.Lock()
+		for a := range openArtifacts.m {
+			a.f.Close()
+			os.Remove(a.f.Name())
+		}
+		openArtifacts.Unlock()
+		os.Exit(130)
+	}()
+}

@@ -21,6 +21,9 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"prdrb/internal/runner"
+	"prdrb/internal/telemetry"
 )
 
 type experiment struct {
@@ -44,20 +47,19 @@ func (ctx *runCtx) writeCSV(name string, header []string, rows [][]float64) erro
 	if ctx.outDir == "" || ctx.outDir == "-" {
 		return nil
 	}
-	f, err := os.Create(filepath.Join(ctx.outDir, name+".csv"))
+	a, err := createArtifact(filepath.Join(ctx.outDir, name+".csv"))
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	fmt.Fprintln(f, strings.Join(header, ","))
+	fmt.Fprintln(a, strings.Join(header, ","))
 	for _, row := range rows {
 		parts := make([]string, len(row))
 		for i, v := range row {
 			parts[i] = strconv.FormatFloat(v, 'f', 4, 64)
 		}
-		fmt.Fprintln(f, strings.Join(parts, ","))
+		fmt.Fprintln(a, strings.Join(parts, ","))
 	}
-	return nil
+	return a.Commit()
 }
 
 var registry []experiment
@@ -73,7 +75,14 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	procs := flag.Int("procs", 1, "experiments to run concurrently (each simulation is single-threaded and independent)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	teleOut := flag.String("trace", "", "write a telemetry event trace (JSONL) to this file; a Chrome trace is written next to it (forces serial execution)")
+	teleSample := flag.Int("trace-sample", 1, "packet-lifecycle sampling: keep 1 in N packets (control events are never sampled out)")
+	manifestOut := flag.String("manifest", "", "write a run manifest (JSON) to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+	wallStart := time.Now()
+	installInterruptCleanup()
 
 	sort.SliceStable(registry, func(i, j int) bool { return registry[i].id < registry[j].id })
 	if *list {
@@ -104,9 +113,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "no experiments matched; use -list")
 		os.Exit(2)
 	}
+	if *pprofAddr != "" {
+		addr, err := telemetry.ServePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: pprof on http://%s/debug/pprof/\n", addr)
+	}
+	if *cpuProfile != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+	var tel *telemetry.Telemetry
+	if *teleOut != "" || *manifestOut != "" {
+		tel = telemetry.New(telemetry.Options{Trace: *teleOut != "", Sample: *teleSample})
+		// Every simulation built anywhere in the registry picks the bundle
+		// up from the runner default — no per-experiment plumbing.
+		runner.DefaultTelemetry = tel
+	}
 	workers := *procs
 	if workers < 1 || *outDir == "-" {
 		workers = 1 // stdout output must stay ordered
+	}
+	if tel != nil && tel.Tracer != nil {
+		// The shared tracer's event log is not concurrency-safe, and a
+		// deterministic trace needs a deterministic run-scope order.
+		workers = 1
+		serialExec = true
 	}
 	type outcome struct {
 		exp     experiment
@@ -120,20 +158,24 @@ func main() {
 			for e := range jobs {
 				start := time.Now()
 				var w io.Writer = os.Stdout
-				var f *os.File
+				var a *artifact
 				var err error
 				if *outDir != "-" {
-					f, err = os.Create(filepath.Join(*outDir, e.id+".txt"))
+					a, err = createArtifact(filepath.Join(*outDir, e.id+".txt"))
 					if err != nil {
 						results <- outcome{exp: e, err: err}
 						continue
 					}
-					w = f
+					w = a
 				}
 				fmt.Fprintf(w, "# %s — %s\n\n", e.id, e.title)
 				err = e.run(ctx, w)
-				if f != nil {
-					f.Close()
+				if a != nil {
+					// Publish even on a failed check — the partial report
+					// says what went wrong. It is complete as written.
+					if cerr := a.Commit(); err == nil {
+						err = cerr
+					}
 				}
 				results <- outcome{exp: e, err: err, elapsed: time.Since(start).Seconds()}
 			}
@@ -146,7 +188,7 @@ func main() {
 		close(jobs)
 	}()
 	failed := 0
-	for range selected {
+	for done := 1; done <= len(selected); done++ {
 		o := <-results
 		status := "ok"
 		if o.err != nil {
@@ -154,10 +196,88 @@ func main() {
 			failed++
 		}
 		fmt.Printf("%-12s %-55s %8.2fs  %s\n", o.exp.id, o.exp.title, o.elapsed, status)
+		if remaining := len(selected) - done; remaining > 0 {
+			eta := time.Since(wallStart) / time.Duration(done) * time.Duration(remaining)
+			fmt.Fprintf(os.Stderr, "experiments: %d/%d done (%s), eta ~%s\n",
+				done, len(selected), o.exp.id, eta.Round(time.Second))
+		}
+	}
+	if tel != nil {
+		if err := writeTelemetryArtifacts(tel, *teleOut, *manifestOut, ctx.seeds[0], time.Since(wallStart), map[string]any{
+			"run": *runPat, "seeds": *nSeeds, "quick": *quick,
+			"out": *outDir, "procs": workers,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			failed++
+		}
 	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeTelemetryArtifacts serializes the shared trace (JSONL + Chrome) and
+// the run manifest once every experiment has finished. All three files go
+// through the atomic artifact path, so an interrupt mid-write leaves
+// nothing truncated.
+func writeTelemetryArtifacts(tel *telemetry.Telemetry, tracePath, manifestPath string, seed uint64, wall time.Duration, config map[string]any) error {
+	var chromePath string
+	if tracePath != "" {
+		a, err := createArtifact(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tel.Tracer.WriteJSONL(a); err != nil {
+			a.Abort()
+			return err
+		}
+		if err := a.Commit(); err != nil {
+			return err
+		}
+		chromePath = telemetry.ChromeTracePath(tracePath)
+		b, err := createArtifact(chromePath)
+		if err != nil {
+			return err
+		}
+		if err := tel.Tracer.WriteChromeTrace(b); err != nil {
+			b.Abort()
+			return err
+		}
+		if err := b.Commit(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote %d events to %s and %s\n", tel.Tracer.Len(), tracePath, chromePath)
+	}
+	if manifestPath == "" {
+		return nil
+	}
+	m := telemetry.NewManifest("experiments", config)
+	m.Seed = seed
+	m.WallTimeSec = wall.Seconds()
+	m.Metrics = tel.Registry.Snapshot()
+	if tracePath != "" {
+		m.Trace = &telemetry.TraceInfo{
+			File: tracePath, Chrome: chromePath,
+			Events: tel.Tracer.Len(), Sample: tel.Tracer.Sample(),
+		}
+	}
+	buf, err := m.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	a, err := createArtifact(manifestPath)
+	if err != nil {
+		return err
+	}
+	if _, err := a.Write(buf); err != nil {
+		a.Abort()
+		return err
+	}
+	if err := a.Commit(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "experiments: wrote manifest %s\n", manifestPath)
+	return nil
 }
 
 func seedList(n int) []uint64 {

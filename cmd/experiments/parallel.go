@@ -14,9 +14,18 @@ import (
 // callers receive the same results slice they would have built serially
 // and keep accumulating in input order, which preserves floating-point
 // summation order and therefore byte-identical reports.
+// serialExec forces parMap onto the calling goroutine. Set when a shared
+// telemetry tracer is attached (-trace): the tracer's event log is not
+// concurrency-safe, and serial execution also keeps the run-scope order —
+// and therefore the emitted trace — deterministic.
+var serialExec bool
+
 func parMap[T, R any](items []T, f func(T) R) []R {
 	out := make([]R, len(items))
 	workers := runtime.NumCPU()
+	if serialExec {
+		workers = 1
+	}
 	if workers > len(items) {
 		workers = len(items)
 	}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"prdrb"
+	"prdrb/internal/telemetry"
 )
 
 func main() {
@@ -49,7 +50,7 @@ func main() {
 
 		faultSpec = flag.String("faults", "", "fault plan, e.g. 'link@500us:3.1+2ms, rand2@1ms+500us~2ms' (link@T:R.P[+repair], router@T:R[+repair], degrade@T:R.P*F[+dur], flap@T:R.P*N/period, randN@T[+spread][~mttr])")
 
-		traceIn   = flag.String("trace", "", "replay a serialized trace file instead of -workload/-pattern")
+		traceIn   = flag.String("replay", "", "replay a serialized workload trace file instead of -workload/-pattern")
 		traceOut  = flag.String("save-trace", "", "write the generated workload trace to this file and exit")
 		knowIn    = flag.String("knowledge", "", "preload a PR-DRB solution database (JSON) before the run")
 		knowOut   = flag.String("save-knowledge", "", "export the solution database after the run")
@@ -57,8 +58,57 @@ func main() {
 		energy    = flag.Bool("energy", false, "print the link-energy report")
 		provision = flag.Bool("provision", false, "print the offline link-demand analysis for the workload")
 		verbose   = flag.Bool("v", false, "print controller statistics")
+
+		teleOut     = flag.String("trace", "", "write a JSONL telemetry event trace to this file (a Chrome trace for Perfetto is written alongside)")
+		teleSample  = flag.Int("trace-sample", 1, "keep 1-in-N packets in the telemetry trace (control events are always kept)")
+		manifestOut = flag.String("manifest", "", "write a run-manifest JSON (config, seed, code version, metrics) to this file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+
+		checkTrace    = flag.String("validate-trace", "", "validate a JSONL telemetry trace against its schema and exit")
+		checkManifest = flag.String("validate-manifest", "", "validate a run-manifest file against its schema and exit")
 	)
 	flag.Parse()
+	wallStart := time.Now()
+
+	if *checkTrace != "" || *checkManifest != "" {
+		if *checkTrace != "" {
+			n, err := telemetry.ValidateTraceFile(*checkTrace)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", *checkTrace, err))
+			}
+			fmt.Printf("%s: %d events, schema ok\n", *checkTrace, n)
+		}
+		if *checkManifest != "" {
+			if err := telemetry.ValidateManifestFile(*checkManifest); err != nil {
+				fatal(fmt.Errorf("%s: %w", *checkManifest, err))
+			}
+			fmt.Printf("%s: schema ok\n", *checkManifest)
+		}
+		return
+	}
+	if *pprofAddr != "" {
+		addr, err := telemetry.ServePprof(*pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "prdrbsim: pprof on http://%s/debug/pprof/\n", addr)
+	}
+	if *cpuProfile != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "prdrbsim:", err)
+			}
+		}()
+	}
+	var tel *prdrb.Telemetry
+	if *teleOut != "" || *manifestOut != "" {
+		tel = prdrb.NewTelemetry(prdrb.TelemetryOptions{Trace: *teleOut != "", Sample: *teleSample})
+	}
 
 	topo, err := parseTopology(*topoSpec)
 	if err != nil {
@@ -146,14 +196,15 @@ func main() {
 		var last *prdrb.Sim
 		var lastRes prdrb.Results
 		for i := 0; i < *seeds; i++ {
-			s, res, exec, err := runOnce(topo, policy, *seed+uint64(i), runSpec{
+			runSeed := *seed + uint64(i)
+			s, res, exec, err := runOnce(topo, policy, runSeed, runSpec{
 				pattern: *pattern, rate: *rate, nodes: *nodes,
 				bursts: *bursts, burstLen: prdrb.Time((*burstLen).Nanoseconds()),
 				burstGap: prdrb.Time((*burstGap).Nanoseconds()),
 				duration: prdrb.Time((*duration).Nanoseconds()),
 				workload: *workload, iters: *iters,
 				trace: loadedTrace, knowledge: knowledge,
-				faults: *faultSpec,
+				faults: *faultSpec, telemetry: tel,
 			})
 			if err != nil {
 				fatal(err)
@@ -209,6 +260,48 @@ func main() {
 			fmt.Printf("    exported %d solutions to %s\n", k.Size(), *knowOut)
 		}
 	}
+
+	if tel != nil {
+		if err := writeTelemetryArtifacts(tel, *teleOut, *manifestOut, *seed, time.Since(wallStart), map[string]any{
+			"topology": *topoSpec, "policy": *policies, "seeds": *seeds,
+			"pattern": *pattern, "rate_mbps": *rate, "bursts": *bursts,
+			"duration_ns": (*duration).Nanoseconds(),
+			"workload":    *workload, "iters": *iters, "faults": *faultSpec,
+		}); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeTelemetryArtifacts serializes the trace (JSONL + Chrome) and the
+// run manifest after all runs complete.
+func writeTelemetryArtifacts(tel *prdrb.Telemetry, tracePath, manifestPath string, seed uint64, wall time.Duration, config map[string]any) error {
+	var chromePath string
+	if tracePath != "" {
+		var err error
+		if chromePath, err = tel.Tracer.WriteTraceFiles(tracePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "prdrbsim: wrote %d events to %s and %s\n", tel.Tracer.Len(), tracePath, chromePath)
+	}
+	if manifestPath == "" {
+		return nil
+	}
+	m := telemetry.NewManifest("prdrbsim", config)
+	m.Seed = seed
+	m.WallTimeSec = wall.Seconds()
+	m.Metrics = tel.Registry.Snapshot()
+	if tracePath != "" {
+		m.Trace = &telemetry.TraceInfo{
+			File: tracePath, Chrome: chromePath,
+			Events: tel.Tracer.Len(), Sample: tel.Tracer.Sample(),
+		}
+	}
+	if err := m.WriteFile(manifestPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "prdrbsim: wrote manifest %s\n", manifestPath)
+	return nil
 }
 
 type runSpec struct {
@@ -223,10 +316,11 @@ type runSpec struct {
 	trace              *prdrb.Trace
 	knowledge          *prdrb.Knowledge
 	faults             string
+	telemetry          *prdrb.Telemetry
 }
 
 func runOnce(topo prdrb.Topology, policy prdrb.Policy, seed uint64, spec runSpec) (*prdrb.Sim, prdrb.Results, prdrb.Time, error) {
-	exp := prdrb.Experiment{Topology: topo, Policy: policy, Seed: seed}
+	exp := prdrb.Experiment{Topology: topo, Policy: policy, Seed: seed, Telemetry: spec.telemetry}
 	if spec.workload != "" || spec.trace != nil {
 		if cfg, ok := prdrb.TracePolicyConfig(policy); ok {
 			exp.DRB = &cfg

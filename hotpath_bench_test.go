@@ -29,8 +29,14 @@ func BenchmarkHotPath(b *testing.B) {
 // engine freelist, packets through the network pool, topology scratch
 // primed), stepping the simulator must not allocate at all. Any new
 // closure, boxing, or map/slice growth on the hot path fails this test.
+// It doubles as the telemetry-off guard: a simulation built without
+// telemetry must carry a nil tracer, so every trace emission site reduces
+// to one pointer comparison and the zero-alloc bound covers them all.
 func TestHotPathZeroAlloc(t *testing.T) {
 	s := MustNewSim(Experiment{Topology: FatTree(4, 3), Policy: PolicyAdaptive, Seed: 7})
+	if s.Telemetry != nil || s.Net.Tracer != nil {
+		t.Fatal("telemetry must stay detached unless the experiment asks for it")
+	}
 	// Sustained load, stable queues: the measurement runs against this.
 	if err := s.InstallPattern(PatternSpec{Pattern: "uniform", RateMbps: 400, Start: 0, End: Second}); err != nil {
 		t.Fatal(err)

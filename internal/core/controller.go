@@ -5,6 +5,7 @@ import (
 
 	"prdrb/internal/network"
 	"prdrb/internal/sim"
+	"prdrb/internal/telemetry"
 	"prdrb/internal/topology"
 )
 
@@ -73,6 +74,9 @@ type Controller struct {
 	// OnRecovery, when set, observes each failure-to-recovery latency
 	// (loss notification -> next successful ACK for that destination).
 	OnRecovery func(d sim.Time)
+	// Trace records the controller's decisions as control events (nil =
+	// tracing off; every emission is nil-guarded by the tracer itself).
+	Trace *telemetry.Tracer
 
 	Stats Stats
 }
@@ -180,6 +184,7 @@ func (c *Controller) HandleAck(e *sim.Engine, ack *network.Packet) {
 			if c.OnRecovery != nil {
 				c.OnRecovery(e.Now() - mp.failedAt)
 			}
+			c.Trace.Control(e.Now(), telemetry.KindRecovery, int(c.Node), int(mp.dst), e.Now()-mp.failedAt, 0)
 			mp.failedAt = 0
 		}
 		mp.observe(&c.Cfg, ack.MSPIndex, ack.PathLatency)
@@ -216,7 +221,8 @@ func (c *Controller) zoneOf(latNs float64) Zone {
 
 // evaluate advances the metapath-configuration FSM (Fig 3.12).
 func (c *Controller) evaluate(e *sim.Engine, mp *metapath) {
-	z := c.zoneOf(mp.latency(float64(c.Cfg.LatencyFloor)))
+	lat := mp.latency(float64(c.Cfg.LatencyFloor))
+	z := c.zoneOf(lat)
 	old := mp.zone
 	mp.zone = z
 	switch {
@@ -224,6 +230,7 @@ func (c *Controller) evaluate(e *sim.Engine, mp *metapath) {
 		if old != ZoneHigh {
 			// M->H: congestion detected. Predictive variants first look for
 			// an already analyzed situation (§3.2.6).
+			c.Trace.Control(e.Now(), telemetry.KindSaturation, int(c.Node), int(mp.dst), sim.Time(lat), 0)
 			if c.Cfg.Predictive && c.tryReuse(e, mp) {
 				return
 			}
@@ -251,8 +258,11 @@ func (c *Controller) evaluate(e *sim.Engine, mp *metapath) {
 func (c *Controller) enterHigh(e *sim.Engine, mp *metapath) {
 	was := mp.zone
 	mp.zone = ZoneHigh
-	if was != ZoneHigh && c.Cfg.Predictive && c.tryReuse(e, mp) {
-		return
+	if was != ZoneHigh {
+		c.Trace.Control(e.Now(), telemetry.KindSaturation, int(c.Node), int(mp.dst), 0, 0)
+		if c.Cfg.Predictive && c.tryReuse(e, mp) {
+			return
+		}
 	}
 	c.maybeOpen(e, mp)
 }
@@ -266,6 +276,7 @@ func (c *Controller) watchdogExpired(e *sim.Engine, dst topology.NodeID) {
 		return
 	}
 	c.Stats.WatchdogFirings++
+	c.Trace.Control(e.Now(), telemetry.KindWatchdog, int(c.Node), int(dst), 0, 0)
 	c.enterHigh(e, mp)
 	mp.watchdog.Reset(c.Cfg.Watchdog)
 }
@@ -307,6 +318,7 @@ func (c *Controller) pathLost(e *sim.Engine, mp *metapath) {
 	if mp.failedAt == 0 {
 		mp.failedAt = e.Now()
 	}
+	c.Trace.Control(e.Now(), telemetry.KindPathFail, int(c.Node), int(mp.dst), 0, 0)
 	c.pruneDeadPaths(mp)
 	if c.db != nil {
 		c.Stats.SolutionsInvalidated += int64(c.db.Invalidate(int(mp.dst), func(p topology.Path) bool {
@@ -328,14 +340,19 @@ func (c *Controller) pruneDeadPaths(mp *metapath) {
 		return
 	}
 	kept := mp.paths[:1]
+	pruned := 0
 	for _, p := range mp.paths[1:] {
 		if c.PathCheck(c.Node, mp.dst, p.path) {
 			kept = append(kept, p)
 		} else {
 			c.Stats.PathsClosed++
+			pruned++
 		}
 	}
 	mp.paths = kept
+	if pruned > 0 {
+		c.Trace.Control(c.eng.Now(), telemetry.KindMetapathClose, int(c.Node), int(mp.dst), 0, int64(len(mp.paths)))
+	}
 }
 
 // maybeOpen grows the metapath by one alternative path (§3.2.3), respecting
@@ -377,6 +394,7 @@ func (c *Controller) maybeOpen(e *sim.Engine, mp *metapath) {
 		mp.nextPathID++
 		mp.lastOpen = e.Now()
 		c.Stats.PathsOpened++
+		c.Trace.Control(e.Now(), telemetry.KindMetapathOpen, int(c.Node), int(mp.dst), 0, int64(len(mp.paths)))
 		return
 	}
 }
@@ -409,6 +427,7 @@ func (mp *metapath) hasPath(p topology.Path) bool {
 func (c *Controller) relax(mp *metapath) {
 	if n := len(mp.paths); n > 1 {
 		c.Stats.PathsClosed += int64(n - 1)
+		c.Trace.Control(c.eng.Now(), telemetry.KindMetapathClose, int(c.Node), int(mp.dst), 0, 1)
 	}
 	mp.paths = mp.paths[:1]
 	mp.paths[0].latNs = float64(c.Cfg.LatencyFloor)
@@ -450,6 +469,7 @@ func (c *Controller) maybeClose(mp *metapath) {
 	}
 	mp.paths = append(mp.paths[:worst], mp.paths[worst+1:]...)
 	c.Stats.PathsClosed++
+	c.Trace.Control(c.eng.Now(), telemetry.KindMetapathClose, int(c.Node), int(mp.dst), 0, int64(len(mp.paths)))
 }
 
 // evidence builds the current contending-flow signature for a destination
@@ -476,6 +496,7 @@ func (c *Controller) tryReuse(e *sim.Engine, mp *metapath) bool {
 	}
 	sol := c.db.Lookup(int(mp.dst), sig, c.Cfg.Similarity)
 	if sol == nil {
+		c.Trace.Control(e.Now(), telemetry.KindSolDBMiss, int(c.Node), int(mp.dst), 0, int64(c.db.Size()))
 		return false
 	}
 	if c.PathCheck != nil {
@@ -483,6 +504,7 @@ func (c *Controller) tryReuse(e *sim.Engine, mp *metapath) bool {
 		// a failed link must not be re-applied wholesale.
 		for i := range sol.paths {
 			if !c.PathCheck(c.Node, mp.dst, sol.paths[i].path) {
+				c.Trace.Control(e.Now(), telemetry.KindSolDBMiss, int(c.Node), int(mp.dst), 0, int64(c.db.Size()))
 				return false
 			}
 		}
@@ -494,6 +516,7 @@ func (c *Controller) tryReuse(e *sim.Engine, mp *metapath) bool {
 	}
 	sol.Hits++
 	c.Stats.ReuseApplications++
+	c.Trace.Control(e.Now(), telemetry.KindSolDBHit, int(c.Node), int(mp.dst), 0, int64(c.db.Size()))
 	return true
 }
 
@@ -506,6 +529,7 @@ func (c *Controller) saveSolution(e *sim.Engine, mp *metapath) {
 	}
 	if c.db.Save(int(mp.dst), sig, mp.snapshot(), c.Cfg.Similarity, e.Now()) != nil {
 		c.Stats.PatternsSaved++
+		c.Trace.Control(e.Now(), telemetry.KindSolDBSave, int(c.Node), int(mp.dst), 0, int64(c.db.Size()))
 	}
 }
 
@@ -558,6 +582,7 @@ func Install(net *network.Network, cfg Config, rngSeed uint64) []*Controller {
 	net.SetSourceController(func(node topology.NodeID) network.SourceController {
 		ctl := New(node, net.Topo, net.Eng, cfg, root.Split(uint64(node)+1))
 		ctl.PathCheck = net.PathUsable
+		ctl.Trace = net.Tracer
 		if net.Collector != nil {
 			ctl.OnRecovery = net.Collector.PathRecovered
 		}

@@ -223,17 +223,16 @@ func (c *Contention) Count(r int) int64 { return c.routers[r].Wait.Count() }
 func (c *Contention) SeriesOf(r int) *Series { return c.routers[r].Series }
 
 // Peak returns the router with the highest average contention latency and
-// that average; (-1, 0) when nothing was observed.
+// that average; (-1, 0) when nothing was observed. Ties keep the
+// lowest-numbered router.
 func (c *Contention) Peak() (router int, avgNs float64) {
 	router = -1
 	for i := range c.routers {
 		if c.routers[i].Wait.Count() == 0 {
 			continue
 		}
-		if m := c.routers[i].Wait.Mean(); m > avgNs || router == -1 {
-			if m >= avgNs {
-				router, avgNs = i, m
-			}
+		if m := c.routers[i].Wait.Mean(); router == -1 || m > avgNs {
+			router, avgNs = i, m
 		}
 	}
 	return router, avgNs

@@ -205,3 +205,81 @@ func TestSeriesPreservesMeanProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Peak tie-breaking: equal averages keep the lowest-numbered router, and
+// routers that saw only zero waits still count as observed.
+func TestContentionPeakTieBreaking(t *testing.T) {
+	c := NewContention(4, 0)
+	c.Observe(1, 200, 0)
+	c.Observe(3, 200, 1) // same mean as router 1
+	if r, avg := c.Peak(); r != 1 || avg != 200 {
+		t.Fatalf("tied Peak = (%d, %v), want first router (1, 200)", r, avg)
+	}
+
+	z := NewContention(3, 0)
+	z.Observe(2, 0, 0) // a wait of zero is still an observation
+	if r, avg := z.Peak(); r != 2 || avg != 0 {
+		t.Fatalf("all-zero-waits Peak = (%d, %v), want (2, 0)", r, avg)
+	}
+}
+
+// A sample landing exactly on a window's end time belongs to the next
+// window (windows are [start, end) half-open), and Samples() reports the
+// still-open window without disturbing accumulation.
+func TestSeriesAddOnWindowBoundary(t *testing.T) {
+	s := NewSeries(100)
+	s.Add(10, 4)
+	s.Add(100, 6) // exactly at the first window's end: must open [100,200)
+	got := s.Samples()
+	if len(got) != 2 {
+		t.Fatalf("got %d samples: %+v", len(got), got)
+	}
+	if got[0].At != 100 || got[0].Avg != 4 || got[0].N != 1 {
+		t.Fatalf("closed window: %+v", got[0])
+	}
+	if got[1].At != 200 || got[1].Avg != 6 || got[1].N != 1 {
+		t.Fatalf("open window: %+v", got[1])
+	}
+	// Reading the open window must not close it: more samples keep folding
+	// into the same window and the view stays consistent.
+	s.Add(150, 8)
+	got = s.Samples()
+	if len(got) != 2 || got[1].Avg != 7 || got[1].N != 2 {
+		t.Fatalf("open window after more samples: %+v", got)
+	}
+}
+
+// Under fault injection the fabric loses packets; the accepted ratio must
+// reflect only actual deliveries — dropped and unreachable traffic can
+// never inflate it.
+func TestThroughputFaultAccounting(t *testing.T) {
+	var tp Throughput
+	for i := 0; i < 8; i++ {
+		tp.Inject(1024)
+	}
+	tp.Deliver(1024)
+	tp.Deliver(1024)
+	tp.Drop(1024)
+	tp.Drop(1024)
+	tp.Drop(1024)
+	tp.Unreachable() // refused at the source: never offered as a packet
+	if tp.OfferedPkts != 8 || tp.AcceptedPkts != 2 {
+		t.Fatalf("offered/accepted = %d/%d", tp.OfferedPkts, tp.AcceptedPkts)
+	}
+	if r := tp.AcceptedRatio(); r != 0.25 {
+		t.Fatalf("AcceptedRatio = %v, want 0.25 (drops and unreachables excluded)", r)
+	}
+	if tp.DroppedPkts != 3 || tp.DroppedBytes != 3*1024 {
+		t.Fatalf("drop accounting = %d pkts / %d bytes", tp.DroppedPkts, tp.DroppedBytes)
+	}
+	if tp.UnreachableMsgs != 1 {
+		t.Fatalf("UnreachableMsgs = %d", tp.UnreachableMsgs)
+	}
+	// Mbps is over accepted bytes only, and guards degenerate elapsed times.
+	if got := tp.Mbps(sim.Millisecond); math.Abs(got-16.384) > 1e-9 {
+		t.Fatalf("Mbps = %v, want 16.384 (accepted bytes only)", got)
+	}
+	if tp.Mbps(0) != 0 || tp.Mbps(-sim.Second) != 0 {
+		t.Fatal("non-positive elapsed must yield 0 Mbps")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"prdrb/internal/sim"
+	"prdrb/internal/telemetry"
 	"prdrb/internal/topology"
 )
 
@@ -80,6 +81,11 @@ func (n *Network) setLinkDown(e *sim.Engine, r topology.RouterID, p int, down bo
 	n.faultEpoch++
 	op.down = down
 	rev.down = down
+	kind := telemetry.KindLinkUp
+	if down {
+		kind = telemetry.KindLinkDown
+	}
+	n.Tracer.RouterEvent(e.Now(), kind, int(r), p, 0)
 	if !down {
 		// Repair: buffered packets resume service immediately.
 		op.pump(e)
@@ -116,6 +122,7 @@ func (n *Network) DegradeLink(r topology.RouterID, p int, factor float64) error 
 	}
 	op.rate = factor
 	rev.rate = factor
+	n.Tracer.RouterEvent(n.Eng.Now(), telemetry.KindLinkDegrade, int(r), p, int64(factor*1000))
 	return nil
 }
 
@@ -156,13 +163,16 @@ func (n *Network) LinkUp(r topology.RouterID, p int) bool {
 // link-health predicate adaptive routing policies consult.
 func (r *Router) PortUp(p int) bool { return !r.out[p].down }
 
-// dropPacket accounts a packet lost on a dead link and notifies the
-// affected source controller (for a lost ACK the affected source is the
-// ACK's destination — the node waiting for it).
-func (n *Network) dropPacket(e *sim.Engine, pkt *Packet) {
+// dropPacket accounts a packet lost on a dead link at router and notifies
+// the affected source controller (for a lost ACK the affected source is
+// the ACK's destination — the node waiting for it).
+func (n *Network) dropPacket(e *sim.Engine, pkt *Packet, router int) {
 	n.DroppedPkts++
 	if n.Collector != nil {
 		n.Collector.PacketDropped(pkt.SizeBytes)
+	}
+	if n.Tracer.Sampled(pkt.ID) {
+		n.Tracer.PacketDropped(e.Now(), pkt.ID, int(pkt.Src), int(pkt.Dst), router)
 	}
 	node := pkt.Src
 	if pkt.Type == AckPacket {

@@ -5,6 +5,7 @@ import (
 
 	"prdrb/internal/metrics"
 	"prdrb/internal/sim"
+	"prdrb/internal/telemetry"
 	"prdrb/internal/topology"
 )
 
@@ -17,14 +18,21 @@ type Network struct {
 	Policy    RouterPolicy
 	Collector *metrics.Collector
 
+	// Tracer records packet and control trace events. Nil — the default —
+	// disables tracing; every emission site is nil-guarded by the tracer's
+	// own methods, so the disabled path costs one pointer comparison.
+	Tracer *telemetry.Tracer
+
 	Routers []*Router
 	NICs    []*NIC
 
 	nextPktID uint64
 	nextMsgID uint64
 
-	// pktFree is the packet freelist (see pool.go).
-	pktFree []*Packet
+	// pktFree is the packet freelist (see pool.go); pktFreePeak is its
+	// high-water mark.
+	pktFree     []*Packet
+	pktFreePeak int
 
 	// vcsPerClass is 2 when the topology has ring (wrap) links — dateline
 	// channel pairs — and 1 otherwise. numVC = numClasses * vcsPerClass.
@@ -42,6 +50,14 @@ type Network struct {
 	// UnreachableMsgs counts messages refused at injection because no
 	// healthy route existed.
 	UnreachableMsgs int64
+
+	// CreditsStalled counts deliveries refused by a full downstream buffer
+	// — each one parks a packet in the input latch and blocks its VC until
+	// the credit returns (the backpressure events of §2.1.3).
+	CreditsStalled int64
+	// DetouredAcks counts notifications rerouted around failed links via
+	// ackDetour.
+	DetouredAcks int64
 
 	// faultEpoch increments on every link up/down transition; zero means
 	// the fabric has always been healthy and health checks short-circuit.
@@ -220,6 +236,7 @@ func (n *Network) SetPortMonitor(m PortMonitor) {
 // source, carrying the full contending set and the reporting router.
 func (n *Network) injectPredictiveAcks(e *sim.Engine, from *outPort, flows []FlowKey, wait sim.Time) {
 	r := n.Routers[from.router]
+	n.Tracer.RouterEvent(e.Now(), telemetry.KindPredAck, int(from.router), from.port, int64(len(flows)))
 	for _, f := range flows {
 		ack := n.newPacket()
 		ack.Type = AckPacket
@@ -278,6 +295,13 @@ func (n *Network) LinkStats() []LinkStat {
 		})
 	}
 	return out
+}
+
+// PacketPoolStats reports the packet pool's lifetime activity: packets
+// issued (IDs handed out, counting record reuse) and the freelist's
+// high-water mark (distinct records the run needed at once when idle).
+func (n *Network) PacketPoolStats() (issued uint64, freePeak int) {
+	return n.nextPktID, n.pktFreePeak
 }
 
 // TotalQueuedBytes sums buffered bytes across all router ports — a global

@@ -78,6 +78,7 @@ func (n *NIC) Send(e *sim.Engine, dst topology.NodeID, bytes int, mpiType uint8,
 		if n.net.Collector != nil {
 			n.net.Collector.MessageUnreachable()
 		}
+		n.net.Tracer.Unreachable(e.Now(), int(n.ID), int(dst))
 		return msgID
 	}
 	frags := (bytes + cfg.PacketBytes - 1) / cfg.PacketBytes
@@ -116,6 +117,9 @@ func (n *NIC) Send(e *sim.Engine, dst topology.NodeID, bytes int, mpiType uint8,
 		if n.net.Collector != nil {
 			n.net.Collector.PacketInjected(pkt.SizeBytes)
 		}
+		if n.net.Tracer.Sampled(pkt.ID) {
+			n.net.Tracer.PacketInjected(e.Now(), pkt.ID, int(pkt.Src), int(pkt.Dst), pkt.SizeBytes)
+		}
 		n.out.enqueue(e, pkt, n.net.prepareVC(n.out, pkt))
 	}
 	return msgID
@@ -139,6 +143,9 @@ func (n *NIC) accept(e *sim.Engine, pkt *Packet, _ *outPort, _ int) bool {
 	case DataPacket:
 		if n.deliv.Valid() {
 			n.deliv.PacketDelivered(pkt.SizeBytes, e.Now()-pkt.CreatedAt, e.Now())
+		}
+		if n.net.Tracer.Sampled(pkt.ID) {
+			n.net.Tracer.PacketDelivered(e.Now(), pkt.ID, int(pkt.Src), int(pkt.Dst), e.Now()-pkt.CreatedAt)
 		}
 		if n.net.Cfg.GenerateAcks {
 			n.sendAck(e, pkt)
@@ -172,7 +179,10 @@ func (n *NIC) sendAck(e *sim.Engine, pkt *Packet) {
 	// losing the ACK stream would blind the source exactly when it needs
 	// path-latency evidence most (no cost on healthy fabrics — the check
 	// short-circuits at fault epoch zero).
-	ack.Waypoints = n.net.ackDetour(n.ID, pkt.Src)
+	if detour := n.net.ackDetour(n.ID, pkt.Src); detour != nil {
+		ack.Waypoints = detour
+		n.net.DetouredAcks++
+	}
 	n.out.enqueue(e, ack, n.net.prepareVC(n.out, ack))
 }
 

@@ -47,4 +47,7 @@ func (n *Network) newPacket() *Packet {
 func (n *Network) releasePacket(p *Packet) {
 	*p = Packet{}
 	n.pktFree = append(n.pktFree, p)
+	if len(n.pktFree) > n.pktFreePeak {
+		n.pktFreePeak = len(n.pktFree)
+	}
 }

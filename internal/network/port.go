@@ -184,6 +184,9 @@ func (o *outPort) pump(e *sim.Engine) {
 		if o.obs.Valid() {
 			o.obs.Observe(wait, e.Now())
 		}
+		if o.net.Tracer.Sampled(pkt.ID) {
+			o.net.Tracer.PacketHop(e.Now(), pkt.ID, int(o.router), o.port, wait)
+		}
 		o.monitorDeparture(e, pkt, wait)
 	}
 	// Space was freed: admit parked upstream deliveries.
@@ -330,7 +333,7 @@ func (o *outPort) deliver(e *sim.Engine, pkt *Packet, vc int) {
 	if o.down {
 		// The link died under the packet: it is lost. The link is still
 		// freed so service restarts cleanly after repair.
-		o.net.dropPacket(e, pkt)
+		o.net.dropPacket(e, pkt, int(o.router))
 		o.freeLink(e)
 		return
 	}
@@ -341,6 +344,7 @@ func (o *outPort) deliver(e *sim.Engine, pkt *Packet, vc int) {
 	}
 	if !o.peer.accept(e, pkt, o, vc) {
 		o.parkedOut[vc] = true
+		o.net.CreditsStalled++
 	}
 	o.freeLink(e)
 }

@@ -19,6 +19,7 @@ import (
 	"prdrb/internal/provision"
 	"prdrb/internal/routing"
 	"prdrb/internal/sim"
+	"prdrb/internal/telemetry"
 	"prdrb/internal/topology"
 	"prdrb/internal/trace"
 	"prdrb/internal/traffic"
@@ -73,7 +74,18 @@ type Experiment struct {
 	// SeriesWindow enables windowed time series at this granularity
 	// (0 = disabled).
 	SeriesWindow sim.Time
+	// Telemetry attaches an observability bundle (event tracer + metrics
+	// registry) at wiring time. Nil falls back to DefaultTelemetry; when
+	// both are nil the simulation carries nil handles and tracing costs
+	// nothing.
+	Telemetry *telemetry.Telemetry
 }
+
+// DefaultTelemetry, when set, is attached to every simulation built
+// without an explicit Experiment.Telemetry. The CLIs set it from their
+// -trace flags so deeply nested construction paths (experiment registry,
+// sweeps) need no per-site plumbing.
+var DefaultTelemetry *telemetry.Telemetry
 
 // Sim is an assembled simulation ready to accept workloads.
 type Sim struct {
@@ -82,7 +94,9 @@ type Sim struct {
 	Net         *network.Network
 	Collector   *metrics.Collector
 	Controllers []*core.Controller // nil entries for baselines
-	rng         *sim.RNG
+	// Telemetry is the attached observability bundle (nil when off).
+	Telemetry *telemetry.Telemetry
+	rng       *sim.RNG
 }
 
 // builder carries the intermediate state of simulation assembly. Each step
@@ -141,7 +155,7 @@ func (b *builder) resolvePolicy() error {
 	return nil
 }
 
-// build assembles engine, collector, network and controllers.
+// build assembles engine, collector, network, telemetry and controllers.
 func (b *builder) build() (*Sim, error) {
 	eng := sim.NewEngine()
 	col := metrics.NewCollector(b.exp.Topology.NumTerminals(), b.exp.Topology.NumRouters(), b.exp.SeriesWindow)
@@ -149,17 +163,69 @@ func (b *builder) build() (*Sim, error) {
 	if err != nil {
 		return nil, err
 	}
+	tel := b.exp.Telemetry
+	if tel == nil {
+		tel = DefaultTelemetry
+	}
+	if tel != nil {
+		// Attach the tracer before controller installation: controllers
+		// resolve their trace handle from the network at wiring time.
+		// Each simulation opens its own run scope so packet IDs stay
+		// unambiguous when one tracer spans a sweep of runs.
+		tel.Tracer.BeginRun(fmt.Sprintf("%s/seed%d", b.exp.Policy, b.exp.Seed))
+		net.Tracer = tel.Tracer
+	}
 	s := &Sim{
 		Exp:       b.exp,
 		Eng:       eng,
 		Net:       net,
 		Collector: col,
+		Telemetry: tel,
 		rng:       sim.NewRNG(b.exp.Seed ^ 0xb5297a4d),
 	}
 	if b.useDRB {
 		s.Controllers = core.Install(net, b.drbCfg, b.exp.Seed+0xd4b)
 	}
+	if tel != nil {
+		s.registerStandardMetrics(tel.Registry)
+	}
 	return s, nil
+}
+
+// registerStandardMetrics wires the simulation's existing state into the
+// registry as gauges: nothing is recorded until a snapshot is taken, so
+// registration has zero hot-path cost.
+func (s *Sim) registerStandardMetrics(r *telemetry.Registry) {
+	eng, net := s.Eng, s.Net
+	r.Gauge("engine.events_processed", func() int64 { return int64(eng.Processed) })
+	r.Gauge("engine.queue_peak", func() int64 { return int64(eng.PeakQueue()) })
+	r.Gauge("engine.freelist_len", func() int64 { return int64(eng.FreeListLen()) })
+	r.Gauge("net.packets_issued", func() int64 { i, _ := net.PacketPoolStats(); return int64(i) })
+	r.Gauge("net.packet_pool_peak", func() int64 { _, p := net.PacketPoolStats(); return int64(p) })
+	r.Gauge("net.credits_stalled", func() int64 { return net.CreditsStalled })
+	r.Gauge("net.dropped_pkts", func() int64 { return net.DroppedPkts })
+	r.Gauge("net.unreachable_msgs", func() int64 { return net.UnreachableMsgs })
+	r.Gauge("net.predictive_acks_sent", func() int64 { return net.PredictiveAcksSent })
+	r.Gauge("net.predictive_acks_dropped", func() int64 { return net.PredictiveAcksDropped })
+	r.Gauge("net.detoured_acks", func() int64 { return net.DetouredAcks })
+	if s.Controllers != nil {
+		ctls := s.Controllers
+		r.Gauge("drb.soldb_size", func() int64 {
+			total := 0
+			for _, c := range ctls {
+				if c != nil && c.DB() != nil {
+					total += c.DB().Size()
+				}
+			}
+			return int64(total)
+		})
+		r.Gauge("drb.paths_opened", func() int64 { return core.AggregateStats(ctls).PathsOpened })
+		r.Gauge("drb.paths_closed", func() int64 { return core.AggregateStats(ctls).PathsClosed })
+		r.Gauge("drb.patterns_saved", func() int64 { return core.AggregateStats(ctls).PatternsSaved })
+		r.Gauge("drb.reuse_applications", func() int64 { return core.AggregateStats(ctls).ReuseApplications })
+		r.Gauge("drb.watchdog_firings", func() int64 { return core.AggregateStats(ctls).WatchdogFirings })
+		r.Gauge("drb.recoveries", func() int64 { return core.AggregateStats(ctls).Recoveries })
+	}
 }
 
 // New builds the network, installs the routing policy and, for the DRB

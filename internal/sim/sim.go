@@ -116,6 +116,15 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// PeakQueue returns the event queue's high-water mark — how deep the
+// schedule got at its busiest.
+func (e *Engine) PeakQueue() int { return e.peakQueue }
+
+// FreeListLen returns the number of recycled event records currently
+// pooled; together with PeakQueue it shows how well the typed-event path
+// amortizes allocation.
+func (e *Engine) FreeListLen() int { return len(e.free) }
+
 // Len returns the number of pending events. Cancelled events are excluded:
 // they still occupy the internal queue until popped, but will never fire.
 func (e *Engine) Len() int { return e.pending }

@@ -1,0 +1,268 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"prdrb/internal/sim"
+)
+
+// Tracer records trace events in memory. Every method is nil-safe: a nil
+// *Tracer is the disabled state and costs one pointer comparison, so
+// instrumentation sites need no separate enabled flag.
+//
+// The tracer is not safe for concurrent use; a traced sweep must run its
+// simulations sequentially (cmd/experiments forces this when -trace is
+// set).
+type Tracer struct {
+	sample uint64
+	run    int
+	labels []string // one label per run
+	events []Event
+}
+
+// NewTracer returns a tracer keeping 1-in-sample packets (sample <= 1
+// keeps all).
+func NewTracer(sample int) *Tracer {
+	if sample < 1 {
+		sample = 1
+	}
+	return &Tracer{sample: uint64(sample), run: -1, labels: []string{}}
+}
+
+// Sample returns the tracer's 1-in-N packet sampling divisor (1 = all).
+func (t *Tracer) Sample() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.sample)
+}
+
+// BeginRun opens a new run scope: subsequent events carry the next run
+// index. Call once per simulation sharing this tracer.
+func (t *Tracer) BeginRun(label string) {
+	if t == nil {
+		return
+	}
+	t.run++
+	t.labels = append(t.labels, label)
+}
+
+// Sampled reports whether packet id is in the trace sample. False on a nil
+// tracer, so hot paths gate packet emissions with this single call.
+func (t *Tracer) Sampled(pkt uint64) bool {
+	return t != nil && pkt%t.sample == 0
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events returns the recorded event log (the tracer retains ownership).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// RunLabels returns the label of every run scope opened with BeginRun.
+func (t *Tracer) RunLabels() []string {
+	if t == nil {
+		return nil
+	}
+	return t.labels
+}
+
+func (t *Tracer) emit(ev Event) {
+	if t.run > 0 {
+		ev.Run = t.run
+	}
+	t.events = append(t.events, ev)
+}
+
+// PacketInjected records a data packet entering its source NIC queue.
+func (t *Tracer) PacketInjected(at sim.Time, pkt uint64, src, dst, bytes int) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{At: int64(at), Kind: KindInject, Pkt: int64(pkt),
+		Src: src, Dst: dst, Router: -1, Port: -1, Val: int64(bytes)})
+}
+
+// PacketHop records a packet starting transmission at a router port after
+// waiting in its output buffers.
+func (t *Tracer) PacketHop(at sim.Time, pkt uint64, router, port int, wait sim.Time) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{At: int64(at), Kind: KindHop, Pkt: int64(pkt),
+		Src: -1, Dst: -1, Router: router, Port: port, Dur: int64(wait)})
+}
+
+// PacketDelivered records a packet reaching its destination NIC.
+func (t *Tracer) PacketDelivered(at sim.Time, pkt uint64, src, dst int, latency sim.Time) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{At: int64(at), Kind: KindDeliver, Pkt: int64(pkt),
+		Src: src, Dst: dst, Router: -1, Port: -1, Dur: int64(latency)})
+}
+
+// PacketDropped records a packet lost on a failed link at router.
+func (t *Tracer) PacketDropped(at sim.Time, pkt uint64, src, dst, router int) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{At: int64(at), Kind: KindDrop, Pkt: int64(pkt),
+		Src: src, Dst: dst, Router: router, Port: -1})
+}
+
+// Unreachable records a message refused at injection for lack of any
+// healthy route.
+func (t *Tracer) Unreachable(at sim.Time, src, dst int) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{At: int64(at), Kind: KindUnreachable, Pkt: -1,
+		Src: src, Dst: dst, Router: -1, Port: -1})
+}
+
+// Control records a PR-DRB controller decision at node toward dst.
+func (t *Tracer) Control(at sim.Time, kind Kind, node, dst int, dur sim.Time, val int64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{At: int64(at), Kind: kind, Pkt: -1,
+		Src: node, Dst: dst, Router: -1, Port: -1, Dur: int64(dur), Val: val})
+}
+
+// RouterEvent records a router-located control event: fault transitions
+// and GPA predictive-ACK generation.
+func (t *Tracer) RouterEvent(at sim.Time, kind Kind, router, port int, val int64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{At: int64(at), Kind: kind, Pkt: -1,
+		Src: -1, Dst: -1, Router: router, Port: port, Val: val})
+}
+
+// WriteJSONL serializes the event log as JSON Lines, one event per line,
+// in emission order. The output of a fixed-seed run is byte-stable.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for i := range t.events {
+		b, err := json.Marshal(&t.events[i])
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one Chrome trace-event record (the JSON object format
+// Perfetto's legacy importer reads). Timestamps and durations are in
+// microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Synthetic process IDs grouping the trace rows in Perfetto.
+const (
+	chromePidPackets = 1 // async packet spans, one track per source node
+	chromePidRouters = 2 // per-router hop slices (dur = queue wait)
+	chromePidControl = 3 // instant control/fault events
+)
+
+func us(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteChromeTrace serializes the event log in Chrome trace-event format:
+// packet lifecycles become async spans (b/e pairs keyed by run:packet),
+// hops become duration slices on their router's track, and control/fault
+// events become instants. The file loads directly in Perfetto.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	out := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{DisplayTimeUnit: "ns"}
+	meta := func(pid int, name string) chromeEvent {
+		return chromeEvent{Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": name}}
+	}
+	out.TraceEvents = append(out.TraceEvents,
+		meta(chromePidPackets, "packets (by source node)"),
+		meta(chromePidRouters, "routers (hop queue waits)"),
+		meta(chromePidControl, "control plane"))
+	for i := range t.events {
+		ev := &t.events[i]
+		id := fmt.Sprintf("%d:%d", ev.Run, ev.Pkt)
+		switch ev.Kind {
+		case KindInject:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("pkt %d->%d", ev.Src, ev.Dst), Cat: "packet",
+				Ph: "b", Ts: us(ev.At), Pid: chromePidPackets, Tid: ev.Src, ID: id,
+				Args: map[string]any{"bytes": ev.Val},
+			})
+		case KindDeliver, KindDrop:
+			args := map[string]any{"latency_ns": ev.Dur}
+			if ev.Kind == KindDrop {
+				args = map[string]any{"dropped_at_router": ev.Router}
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("pkt %d->%d", ev.Src, ev.Dst), Cat: "packet",
+				Ph: "e", Ts: us(ev.At), Pid: chromePidPackets, Tid: ev.Src, ID: id,
+				Args: args,
+			})
+		case KindHop:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("hop pkt %d", ev.Pkt), Cat: "hop",
+				Ph: "X", Ts: us(ev.At - ev.Dur), Dur: us(ev.Dur),
+				Pid: chromePidRouters, Tid: ev.Router,
+				Args: map[string]any{"port": ev.Port, "wait_ns": ev.Dur},
+			})
+		default:
+			tid := ev.Src
+			if tid < 0 {
+				tid = ev.Router
+			}
+			if tid < 0 {
+				tid = 0
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: string(ev.Kind), Cat: "control",
+				Ph: "i", Ts: us(ev.At), Pid: chromePidControl, Tid: tid, S: "t",
+				Args: map[string]any{"src": ev.Src, "dst": ev.Dst,
+					"router": ev.Router, "dur_ns": ev.Dur, "val": ev.Val},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}

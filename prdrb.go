@@ -44,6 +44,7 @@ import (
 	"prdrb/internal/network"
 	"prdrb/internal/runner"
 	"prdrb/internal/sim"
+	"prdrb/internal/telemetry"
 	"prdrb/internal/topology"
 	"prdrb/internal/trace"
 )
@@ -111,7 +112,28 @@ type (
 	// import into a fresh simulation so patterns are recognized from their
 	// first occurrence.
 	Knowledge = core.Knowledge
+
+	// Telemetry bundles the event tracer and metrics registry a simulation
+	// is wired with (Experiment.Telemetry); nil disables observability for
+	// free.
+	Telemetry = telemetry.Telemetry
+	// TelemetryOptions configures a telemetry bundle (tracing on/off,
+	// 1-in-N packet sampling).
+	TelemetryOptions = telemetry.Options
+	// TraceEvent is one recorded telemetry event (a JSONL trace line).
+	TraceEvent = telemetry.Event
+	// Tracer records packet-lifecycle and PR-DRB control events.
+	Tracer = telemetry.Tracer
+	// MetricsRegistry holds named counters and gauges snapshotted into run
+	// manifests.
+	MetricsRegistry = telemetry.Registry
+	// RunManifest is the reproducibility record written beside a run's
+	// outputs (config, seed, code version, wall time, metrics snapshot).
+	RunManifest = telemetry.Manifest
 )
+
+// NewTelemetry builds a telemetry bundle from opts.
+func NewTelemetry(opts TelemetryOptions) *Telemetry { return telemetry.New(opts) }
 
 // The seven policies of the paper's evaluation (§4.8.4) plus minimal
 // adaptive.

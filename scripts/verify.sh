@@ -22,4 +22,14 @@ go test -run TestHotPathZeroAlloc -count=1 .
 echo "==> bench smoke (BenchmarkHotPath, 1 iteration)"
 go test -run '^$' -bench BenchmarkHotPath -benchtime 1x .
 
+echo "==> telemetry smoke (traced run, schema-validated artifacts)"
+teldir=$(mktemp -d)
+trap 'rm -rf "$teldir"' EXIT
+go build -o "$teldir/prdrbsim" ./cmd/prdrbsim
+"$teldir/prdrbsim" -topology mesh-4x4 -policy pr-drb -pattern uniform -rate 200 \
+    -duration 400us -trace "$teldir/run.jsonl" -manifest "$teldir/run-manifest.json" \
+    >/dev/null 2>&1
+"$teldir/prdrbsim" -validate-trace "$teldir/run.jsonl"
+"$teldir/prdrbsim" -validate-manifest "$teldir/run-manifest.json"
+
 echo "==> verify OK"
