@@ -246,7 +246,7 @@ func ablMapping(ctx *runCtx, w io.Writer) error {
 		mp   []prdrb.NodeID
 	}{{"identity", nil}, {"optimized", mapping}} {
 		for _, pol := range []prdrb.Policy{prdrb.PolicyDeterministic, prdrb.PolicyPRDRB} {
-			exp := prdrb.Experiment{Topology: topo, Policy: pol, Seed: ctx.seeds[0]}
+			exp := prdrb.Experiment{Topology: topo, Policy: pol, Seed: ctx.seeds[0], Shards: 1}
 			if cfg, ok := prdrb.TracePolicyConfig(pol); ok {
 				exp.DRB = &cfg
 			}

@@ -54,6 +54,7 @@ func runApp(app string, policy prdrb.Policy, seed uint64, opt prdrb.WorkloadOpti
 		Policy:       policy,
 		Seed:         seed,
 		SeriesWindow: window,
+		Shards:       1, // trace replay drives the engine directly: serial only
 	}
 	if cfg, ok := prdrb.TracePolicyConfig(policy); ok {
 		exp.DRB = &cfg

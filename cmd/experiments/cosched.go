@@ -84,7 +84,7 @@ func ablCoschedule(ctx *runCtx, w io.Writer) error {
 	}
 
 	run := func(policy prdrb.Policy, both bool) (popExec, lammpsExec prdrb.Time) {
-		exp := prdrb.Experiment{Topology: prdrb.FatTree(4, 3), Policy: policy, Seed: ctx.seeds[0]}
+		exp := prdrb.Experiment{Topology: prdrb.FatTree(4, 3), Policy: policy, Seed: ctx.seeds[0], Shards: 1}
 		if cfg, ok := prdrb.TracePolicyConfig(policy); ok {
 			exp.DRB = &cfg
 		}

@@ -74,6 +74,7 @@ func main() {
 	nSeeds := flag.Int("seeds", 3, "seeds per measurement (multi-seed averaging, thesis §4.3)")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	procs := flag.Int("procs", 1, "experiments to run concurrently (each simulation is single-threaded and independent)")
+	shards := flag.Int("shards", 1, "engine shards per simulation (>1 selects the conservative-parallel engine; trace-replay experiments always run serial)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	teleOut := flag.String("trace", "", "write a telemetry event trace (JSONL) to this file; a Chrome trace is written next to it (forces serial execution)")
 	teleSample := flag.Int("trace-sample", 1, "packet-lifecycle sampling: keep 1 in N packets (control events are never sampled out)")
@@ -95,6 +96,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bad -run pattern: %v\n", err)
 		os.Exit(2)
+	}
+	if *shards > 1 {
+		runner.DefaultShards = *shards
 	}
 	ctx := &runCtx{seeds: seedList(*nSeeds), quick: *quick, outDir: *outDir}
 	if *outDir != "-" {

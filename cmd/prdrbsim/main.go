@@ -36,6 +36,7 @@ func main() {
 		policies = flag.String("policy", "pr-drb", "comma-separated policy list: deterministic,random,cyclic,adaptive,drb,pr-drb,fr-drb,pr-fr-drb")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		seeds    = flag.Int("seeds", 1, "number of seeds to average")
+		shards   = flag.Int("shards", 1, "conservative-parallel engine shards (1 = serial reference engine)")
 
 		pattern  = flag.String("pattern", "", "synthetic pattern: shuffle|bitreversal|transpose|uniform")
 		rate     = flag.Float64("rate", 600, "injection rate per node, Mbps")
@@ -204,7 +205,7 @@ func main() {
 				duration: prdrb.Time((*duration).Nanoseconds()),
 				workload: *workload, iters: *iters,
 				trace: loadedTrace, knowledge: knowledge,
-				faults: *faultSpec, telemetry: tel,
+				faults: *faultSpec, telemetry: tel, shards: *shards,
 			})
 			if err != nil {
 				fatal(err)
@@ -317,10 +318,11 @@ type runSpec struct {
 	knowledge          *prdrb.Knowledge
 	faults             string
 	telemetry          *prdrb.Telemetry
+	shards             int
 }
 
 func runOnce(topo prdrb.Topology, policy prdrb.Policy, seed uint64, spec runSpec) (*prdrb.Sim, prdrb.Results, prdrb.Time, error) {
-	exp := prdrb.Experiment{Topology: topo, Policy: policy, Seed: seed, Telemetry: spec.telemetry}
+	exp := prdrb.Experiment{Topology: topo, Policy: policy, Seed: seed, Telemetry: spec.telemetry, Shards: spec.shards}
 	if spec.workload != "" || spec.trace != nil {
 		if cfg, ok := prdrb.TracePolicyConfig(policy); ok {
 			exp.DRB = &cfg

@@ -159,7 +159,7 @@ func TestRouterBasedModeFacade(t *testing.T) {
 	if res.Stats.PredictiveAcks == 0 {
 		t.Fatal("no router-originated predictive ACKs observed")
 	}
-	if s.Net.PredictiveAcksSent == 0 {
+	if s.Net.PredictiveAcksSent() == 0 {
 		t.Fatal("GPA modules never injected")
 	}
 }

@@ -34,7 +34,7 @@ func BenchmarkHotPath(b *testing.B) {
 // to one pointer comparison and the zero-alloc bound covers them all.
 func TestHotPathZeroAlloc(t *testing.T) {
 	s := MustNewSim(Experiment{Topology: FatTree(4, 3), Policy: PolicyAdaptive, Seed: 7})
-	if s.Telemetry != nil || s.Net.Tracer != nil {
+	if s.Telemetry != nil || s.Net.Tracer() != nil {
 		t.Fatal("telemetry must stay detached unless the experiment asks for it")
 	}
 	// Sustained load, stable queues: the measurement runs against this.

@@ -580,11 +580,14 @@ func Install(net *network.Network, cfg Config, rngSeed uint64) []*Controller {
 	ctls := make([]*Controller, net.Topo.NumTerminals())
 	root := sim.NewRNG(rngSeed)
 	net.SetSourceController(func(node topology.NodeID) network.SourceController {
-		ctl := New(node, net.Topo, net.Eng, cfg, root.Split(uint64(node)+1))
+		// Each controller binds to its node's shard: engine, tracer and
+		// collector all come from the shard owning the node's NIC, so
+		// controller callbacks stay shard-local in parallel runs.
+		ctl := New(node, net.Topo, net.EngineForNode(node), cfg, root.Split(uint64(node)+1))
 		ctl.PathCheck = net.PathUsable
-		ctl.Trace = net.Tracer
-		if net.Collector != nil {
-			ctl.OnRecovery = net.Collector.PathRecovered
+		ctl.Trace = net.TracerForNode(node)
+		if col := net.CollectorForNode(node); col != nil {
+			ctl.OnRecovery = col.PathRecovered
 		}
 		ctls[node] = ctl
 		return ctl

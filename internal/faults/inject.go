@@ -2,7 +2,6 @@ package faults
 
 import (
 	"prdrb/internal/network"
-	"prdrb/internal/sim"
 )
 
 // Injector owns a plan's execution against one network: it schedules every
@@ -16,9 +15,12 @@ type Injector struct {
 }
 
 // Install validates the plan against the network's topology and schedules
-// every event on the network's event engine. Events fire in plan order
-// (the engine breaks same-time ties by scheduling sequence, which Install
-// preserves by scheduling in plan order).
+// every event through the network's control path. Events fire in plan
+// order (same-time ties break by scheduling sequence, which Install
+// preserves by scheduling in plan order). On a sharded network the control
+// path runs fault transitions at window barriers — at most one lookahead
+// before their nominal time — where flipping link state shared by every
+// shard is race-free.
 func Install(net *network.Network, plan Plan) (*Injector, error) {
 	if err := plan.Validate(net.Topo); err != nil {
 		return nil, err
@@ -26,23 +28,23 @@ func Install(net *network.Network, plan Plan) (*Injector, error) {
 	inj := &Injector{net: net, plan: plan, Applied: make(map[Kind]int)}
 	for _, ev := range plan.Events {
 		ev := ev
-		net.Eng.Schedule(ev.At, func(e *sim.Engine) { inj.apply(e, ev) })
+		net.ScheduleControl(ev.At, func() { inj.apply(ev) })
 	}
 	return inj, nil
 }
 
-func (inj *Injector) apply(e *sim.Engine, ev Event) {
+func (inj *Injector) apply(ev Event) {
 	switch ev.Kind {
 	case LinkDown:
-		inj.net.FailLink(e, ev.Router, ev.Port)
+		inj.net.FailLink(nil, ev.Router, ev.Port)
 	case LinkUp:
-		inj.net.RestoreLink(e, ev.Router, ev.Port)
+		inj.net.RestoreLink(nil, ev.Router, ev.Port)
 	case LinkDegrade:
 		inj.net.DegradeLink(ev.Router, ev.Port, ev.Factor)
 	case RouterDown:
-		inj.net.FailRouter(e, ev.Router)
+		inj.net.FailRouter(nil, ev.Router)
 	case RouterUp:
-		inj.net.RestoreRouter(e, ev.Router)
+		inj.net.RestoreRouter(nil, ev.Router)
 	}
 	inj.Applied[ev.Kind]++
 }

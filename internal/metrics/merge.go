@@ -1,0 +1,151 @@
+package metrics
+
+import "prdrb/internal/sim"
+
+// Merging for the sharded parallel engine: every shard records into its
+// own full-sized Collector (terminal and router indices are global, each
+// shard only touches the ones it owns), and the barrier-synchronized
+// runner folds them into a single Collector for summarization. The merge
+// is exact for disjoint index sets (the sharded case) and statistically
+// correct (weighted) if sets ever overlap; it iterates shards in fixed
+// order, so merged output is deterministic.
+
+// Merge folds another running average into r (weighted combination).
+func (r *RunningAvg) Merge(o RunningAvg) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = o
+		return
+	}
+	total := r.n + o.n
+	r.avg += (o.avg - r.avg) * float64(o.n) / float64(total)
+	r.n = total
+}
+
+// Merge folds another histogram into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	for b, c := range o.counts {
+		h.counts[b] += c
+	}
+	h.total += o.total
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Merge folds another throughput account into t.
+func (t *Throughput) Merge(o Throughput) {
+	t.OfferedBytes += o.OfferedBytes
+	t.AcceptedBytes += o.AcceptedBytes
+	t.OfferedPkts += o.OfferedPkts
+	t.AcceptedPkts += o.AcceptedPkts
+	t.DroppedPkts += o.DroppedPkts
+	t.DroppedBytes += o.DroppedBytes
+	t.UnreachableMsgs += o.UnreachableMsgs
+}
+
+// mergeSeries k-way merges per-shard series (aligned windows: every
+// series was built with the same Window, and window ends are multiples of
+// it) into one closed-sample series. Same-window samples combine by
+// weighted average / max / count sum.
+func mergeSeries(window sim.Time, parts []*Series) *Series {
+	out := NewSeries(window)
+	type cursor struct {
+		samples []Sample
+		i       int
+	}
+	cur := make([]cursor, 0, len(parts))
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if s := p.Samples(); len(s) > 0 {
+			cur = append(cur, cursor{samples: s})
+		}
+	}
+	for {
+		// Earliest open window end across cursors.
+		var at sim.Time
+		found := false
+		for _, c := range cur {
+			if c.i < len(c.samples) && (!found || c.samples[c.i].At < at) {
+				at = c.samples[c.i].At
+				found = true
+			}
+		}
+		if !found {
+			break
+		}
+		var sum, max float64
+		var n int64
+		for k := range cur {
+			c := &cur[k]
+			if c.i < len(c.samples) && c.samples[c.i].At == at {
+				s := c.samples[c.i]
+				sum += s.Avg * float64(s.N)
+				if s.Max > max {
+					max = s.Max
+				}
+				n += s.N
+				c.i++
+			}
+		}
+		out.samples = append(out.samples, Sample{At: at, Avg: sum / float64(n), Max: max, N: n})
+	}
+	return out
+}
+
+// MergeCollectors combines per-shard collectors into a fresh one. All
+// parts must have identical shapes (node count, router count, series
+// window); parts is iterated in order, so the result is deterministic.
+func MergeCollectors(parts []*Collector) *Collector {
+	if len(parts) == 0 {
+		return nil
+	}
+	nodes := len(parts[0].Latency.perDst)
+	routers := len(parts[0].Contention.routers)
+	var window sim.Time
+	if parts[0].GlobalSeries != nil {
+		window = parts[0].GlobalSeries.Window
+	}
+	out := NewCollector(nodes, routers, window)
+	for _, p := range parts {
+		for d := range p.Latency.perDst {
+			out.Latency.perDst[d].Merge(p.Latency.perDst[d])
+		}
+		for r := range p.Contention.routers {
+			src := &p.Contention.routers[r]
+			dst := &out.Contention.routers[r]
+			dst.Wait.Merge(src.Wait)
+			if src.MaxNs > dst.MaxNs {
+				dst.MaxNs = src.MaxNs
+			}
+		}
+		out.Throughput.Merge(p.Throughput)
+		out.Hist.Merge(p.Hist)
+		out.Recovery.Merge(p.Recovery)
+	}
+	if window > 0 {
+		series := make([]*Series, len(parts))
+		for i, p := range parts {
+			series[i] = p.GlobalSeries
+		}
+		out.GlobalSeries = mergeSeries(window, series)
+		for r := 0; r < routers; r++ {
+			rs := make([]*Series, len(parts))
+			for i, p := range parts {
+				rs[i] = p.Contention.routers[r].Series
+			}
+			out.Contention.routers[r].Series = mergeSeries(window, rs)
+		}
+	}
+	return out
+}

@@ -119,3 +119,18 @@ func (c *Config) Validate() error {
 func (c *Config) SerializationTime(bytes int) sim.Time {
 	return sim.Time(float64(bytes) * 8 * 1e9 / c.LinkBandwidthBps)
 }
+
+// Lookahead returns the minimum latency of any event crossing a
+// router-router link: the cut-through header time of the smallest packet
+// the fabric carries (ACKs are the size floor — NIC.Send pads fragments up
+// to AckBytes) plus propagation and the routing pipeline. This bounds the
+// window width of the conservative parallel engine: no shard can affect
+// another sooner than one lookahead ahead of its own clock. Link
+// degradation only stretches serialization, so the bound survives faults.
+func (c *Config) Lookahead() sim.Time {
+	b := c.HeaderBytes
+	if c.AckBytes < b {
+		b = c.AckBytes
+	}
+	return c.SerializationTime(b) + c.LinkDelay + c.RoutingDelay
+}

@@ -68,8 +68,12 @@ func (n *Network) reversePort(r topology.RouterID, p int) *outPort {
 	return nil
 }
 
-// setLinkDown flips both directions of the link at (r, p).
-func (n *Network) setLinkDown(e *sim.Engine, r topology.RouterID, p int, down bool) error {
+// setLinkDown flips both directions of the link at (r, p). The two port
+// ends may live on different shards: each side's pump and tracer emission
+// run on that side's own engine. In sharded mode this only ever executes
+// inside a barrier task, when every engine sits at the same window start,
+// so both emissions carry the same timestamp and no shard is mid-window.
+func (n *Network) setLinkDown(r topology.RouterID, p int, down bool) error {
 	op, err := n.portAt(r, p)
 	if err != nil {
 		return err
@@ -85,24 +89,25 @@ func (n *Network) setLinkDown(e *sim.Engine, r topology.RouterID, p int, down bo
 	if down {
 		kind = telemetry.KindLinkDown
 	}
-	n.Tracer.RouterEvent(e.Now(), kind, int(r), p, 0)
+	op.sh.Tracer.RouterEvent(op.sh.Eng.Now(), kind, int(r), p, 0)
 	if !down {
 		// Repair: buffered packets resume service immediately.
-		op.pump(e)
-		rev.pump(e)
+		op.pump(op.sh.Eng)
+		rev.pump(rev.sh.Eng)
 	}
 	return nil
 }
 
 // FailLink takes the link at router r, port p out of service in both
-// directions. Idempotent.
-func (n *Network) FailLink(e *sim.Engine, r topology.RouterID, p int) error {
-	return n.setLinkDown(e, r, p, true)
+// directions. Idempotent. The engine argument is kept for call-site
+// compatibility; fault transitions always run on the ports' own engines.
+func (n *Network) FailLink(_ *sim.Engine, r topology.RouterID, p int) error {
+	return n.setLinkDown(r, p, true)
 }
 
 // RestoreLink returns a failed link to service in both directions.
-func (n *Network) RestoreLink(e *sim.Engine, r topology.RouterID, p int) error {
-	return n.setLinkDown(e, r, p, false)
+func (n *Network) RestoreLink(_ *sim.Engine, r topology.RouterID, p int) error {
+	return n.setLinkDown(r, p, false)
 }
 
 // DegradeLink scales the link's bandwidth in both directions to factor
@@ -122,7 +127,7 @@ func (n *Network) DegradeLink(r topology.RouterID, p int, factor float64) error 
 	}
 	op.rate = factor
 	rev.rate = factor
-	n.Tracer.RouterEvent(n.Eng.Now(), telemetry.KindLinkDegrade, int(r), p, int64(factor*1000))
+	op.sh.Tracer.RouterEvent(op.sh.Eng.Now(), telemetry.KindLinkDegrade, int(r), p, int64(factor*1000))
 	return nil
 }
 
@@ -163,29 +168,44 @@ func (n *Network) LinkUp(r topology.RouterID, p int) bool {
 // link-health predicate adaptive routing policies consult.
 func (r *Router) PortUp(p int) bool { return !r.out[p].down }
 
-// dropPacket accounts a packet lost on a dead link at router and notifies
-// the affected source controller (for a lost ACK the affected source is
-// the ACK's destination — the node waiting for it).
-func (n *Network) dropPacket(e *sim.Engine, pkt *Packet, router int) {
-	n.DroppedPkts++
-	if n.Collector != nil {
-		n.Collector.PacketDropped(pkt.SizeBytes)
+// dropPacketAt accounts a packet lost on a dead link at router (observed
+// by shard sh) and notifies the affected source controller (for a lost
+// ACK the affected source is the ACK's destination — the node waiting for
+// it). When the source lives on another shard the notification crosses
+// the boundary as a remoteLoss event carrying the packet; the receiving
+// shard becomes the final owner and releases the record into its own
+// pool.
+func (n *Network) dropPacketAt(e *sim.Engine, sh *Shard, pkt *Packet, router int) {
+	sh.droppedPkts++
+	if sh.Collector != nil {
+		sh.Collector.PacketDropped(pkt.SizeBytes)
 	}
-	if n.Tracer.Sampled(pkt.ID) {
-		n.Tracer.PacketDropped(e.Now(), pkt.ID, int(pkt.Src), int(pkt.Dst), router)
+	if sh.Tracer.Sampled(pkt.ID) {
+		sh.Tracer.PacketDropped(e.Now(), pkt.ID, int(pkt.Src), int(pkt.Dst), router)
 	}
 	node := pkt.Src
 	if pkt.Type == AckPacket {
 		node = pkt.Dst
 	}
 	if int(node) >= 0 && int(node) < len(n.NICs) {
-		if fa, ok := n.NICs[node].Source.(FailureAware); ok {
-			fa.HandlePacketLoss(e, pkt)
+		nic := n.NICs[node]
+		if nic.sh == sh {
+			if fa, ok := nic.Source.(FailureAware); ok {
+				fa.HandlePacketLoss(e, pkt)
+			}
+		} else if _, ok := nic.Source.(FailureAware); ok {
+			n.group.Send(sh.Idx, nic.sh.Idx, sim.RemoteEvent{
+				At:     e.Now() + n.group.Window,
+				Target: nic,
+				Kind:   remoteLoss,
+				Ptr:    pkt,
+			})
+			return
 		}
 	}
 	// The drop path is a final owner too: the record returns to the pool
 	// once the loss notification has been delivered.
-	n.releasePacket(pkt)
+	sh.releasePacket(pkt)
 }
 
 // ackDetour returns multistep waypoints for notification traffic from src
@@ -199,12 +219,16 @@ func (n *Network) ackDetour(src, dst topology.NodeID) topology.Path {
 	if !n.faultsActive() || n.PathUsable(src, dst, nil) {
 		return nil
 	}
-	if n.ackDetourEpoch != n.faultEpoch {
-		n.ackDetourEpoch = n.faultEpoch
-		n.ackDetours = make(map[flowPair]topology.Path)
+	// The cache lives on the source node's shard: only that shard ever
+	// queries this pair, and the link state it derives from is stable
+	// between barriers.
+	sh := n.NICs[src].sh
+	if sh.ackDetourEpoch != n.faultEpoch {
+		sh.ackDetourEpoch = n.faultEpoch
+		sh.ackDetours = make(map[flowPair]topology.Path)
 	}
 	key := flowPair{src, dst}
-	if msp, ok := n.ackDetours[key]; ok {
+	if msp, ok := sh.ackDetours[key]; ok {
 		return msp
 	}
 	var detour topology.Path
@@ -214,7 +238,7 @@ func (n *Network) ackDetour(src, dst topology.NodeID) topology.Path {
 			break
 		}
 	}
-	n.ackDetours[key] = detour
+	sh.ackDetours[key] = detour
 	return detour
 }
 
@@ -273,17 +297,19 @@ func (n *Network) Reachable(src, dst topology.NodeID) bool {
 		return false
 	}
 	sr, _ := n.Topo.TerminalAttach(src)
-	return n.reachFrom(sr)[dr]
+	return n.reachFrom(n.NICs[src].sh, sr)[dr]
 }
 
-// reachFrom returns the live-reachability set of router from, cached until
-// the next fault transition.
-func (n *Network) reachFrom(from topology.RouterID) []bool {
-	if n.reachEpoch != n.faultEpoch {
-		n.reachEpoch = n.faultEpoch
-		n.reachSets = make(map[topology.RouterID][]bool)
+// reachFrom returns the live-reachability set of router from, cached on
+// the querying shard until the next fault transition. The BFS reads
+// foreign shards' port state, which is safe: link health only changes in
+// barrier tasks, never mid-window.
+func (n *Network) reachFrom(sh *Shard, from topology.RouterID) []bool {
+	if sh.reachEpoch != n.faultEpoch {
+		sh.reachEpoch = n.faultEpoch
+		sh.reachSets = make(map[topology.RouterID][]bool)
 	}
-	if set, ok := n.reachSets[from]; ok {
+	if set, ok := sh.reachSets[from]; ok {
 		return set
 	}
 	set := make([]bool, len(n.Routers))
@@ -303,6 +329,6 @@ func (n *Network) reachFrom(from topology.RouterID) []bool {
 			}
 		}
 	}
-	n.reachSets[from] = set
+	sh.reachSets[from] = set
 	return set
 }

@@ -89,11 +89,11 @@ func TestDegradedTopologyStillRoutes(t *testing.T) {
 			if delivered != want {
 				t.Fatalf("delivered %d of %d messages, want %d", delivered, len(tc.pairs), want)
 			}
-			if got := int(n.UnreachableMsgs); got != tc.wantUnreachable {
+			if got := int(n.UnreachableMsgs()); got != tc.wantUnreachable {
 				t.Fatalf("UnreachableMsgs = %d, want %d", got, tc.wantUnreachable)
 			}
-			if n.DroppedPkts != 0 {
-				t.Fatalf("dropped %d packets; pre-failure faults must refuse, not drop", n.DroppedPkts)
+			if n.DroppedPkts() != 0 {
+				t.Fatalf("dropped %d packets; pre-failure faults must refuse, not drop", n.DroppedPkts())
 			}
 		})
 	}
@@ -123,7 +123,7 @@ func TestInFlightDropAndRepair(t *testing.T) {
 		}
 	})
 	e.RunAll()
-	if n.DroppedPkts == 0 {
+	if n.DroppedPkts() == 0 {
 		t.Fatalf("no packet dropped despite mid-flight failure")
 	}
 	if delivered != 0 {
@@ -132,8 +132,8 @@ func TestInFlightDropAndRepair(t *testing.T) {
 	// The queue must have drained after repair: everything that was not on
 	// the wire at failure time is accepted downstream.
 	acc := n.Collector.Throughput.AcceptedPkts
-	if acc+n.DroppedPkts != 8 {
-		t.Fatalf("accepted %d + dropped %d != 8 injected", acc, n.DroppedPkts)
+	if acc+n.DroppedPkts() != 8 {
+		t.Fatalf("accepted %d + dropped %d != 8 injected", acc, n.DroppedPkts())
 	}
 	if acc < 6 {
 		t.Fatalf("only %d packets survived the outage; queue did not resume after repair", acc)
@@ -194,8 +194,8 @@ func TestDeadLinkHoldsCreditsNoFalseDeadlock(t *testing.T) {
 	if err := CheckDeadlockFreedom(topo, 4); err != nil {
 		t.Fatalf("CheckDeadlockFreedom reported a cycle on a faulted-but-sound config: %v", err)
 	}
-	if n.DroppedPkts != 0 {
-		t.Fatalf("parked packets were dropped (%d); credits must hold them", n.DroppedPkts)
+	if n.DroppedPkts() != 0 {
+		t.Fatalf("parked packets were dropped (%d); credits must hold them", n.DroppedPkts())
 	}
 }
 
@@ -236,7 +236,7 @@ func TestFaultFreeFastPath(t *testing.T) {
 	if n.FaultEpoch() != 0 {
 		t.Fatalf("fault epoch advanced to %d without faults", n.FaultEpoch())
 	}
-	if n.DroppedPkts != 0 || n.UnreachableMsgs != 0 {
+	if n.DroppedPkts() != 0 || n.UnreachableMsgs() != 0 {
 		t.Fatalf("fault counters moved in a fault-free run")
 	}
 }
@@ -256,7 +256,7 @@ func TestRouterFailurePartition(t *testing.T) {
 	if delivered != 1 {
 		t.Fatalf("delivered %d, want 1", delivered)
 	}
-	if n.UnreachableMsgs != 2 {
-		t.Fatalf("UnreachableMsgs = %d, want 2", n.UnreachableMsgs)
+	if n.UnreachableMsgs() != 2 {
+		t.Fatalf("UnreachableMsgs = %d, want 2", n.UnreachableMsgs())
 	}
 }

@@ -10,64 +10,40 @@ import (
 )
 
 // Network wires a topology into routers, links and NICs and carries the
-// run-wide configuration, routing policy and metric collector.
+// run-wide configuration, routing policy and metric collectors. All
+// per-run mutable hot-path state lives in Shards (see shard.go): a serial
+// network has exactly one shard and runs the historical single-engine
+// code paths; a sharded network partitions the routers across engines
+// synchronized by a sim.ShardGroup.
 type Network struct {
-	Eng       *sim.Engine
-	Topo      topology.Topology
-	Cfg       Config
-	Policy    RouterPolicy
+	// Eng is the engine in serial mode; nil when sharded (use
+	// EngineForNode or Group then).
+	Eng    *sim.Engine
+	Topo   topology.Topology
+	Cfg    Config
+	Policy RouterPolicy
+	// Collector is the serial-mode collector handle; nil when sharded
+	// (each shard records into its own, merged by the runner).
 	Collector *metrics.Collector
-
-	// Tracer records packet and control trace events. Nil — the default —
-	// disables tracing; every emission site is nil-guarded by the tracer's
-	// own methods, so the disabled path costs one pointer comparison.
-	Tracer *telemetry.Tracer
 
 	Routers []*Router
 	NICs    []*NIC
 
-	nextPktID uint64
-	nextMsgID uint64
-
-	// pktFree is the packet freelist (see pool.go); pktFreePeak is its
-	// high-water mark.
-	pktFree     []*Packet
-	pktFreePeak int
+	// Shards holds the per-shard mutable state; serial mode has one.
+	Shards []*Shard
+	// group synchronizes the shard engines; nil in serial mode.
+	group *sim.ShardGroup
 
 	// vcsPerClass is 2 when the topology has ring (wrap) links — dateline
 	// channel pairs — and 1 otherwise. numVC = numClasses * vcsPerClass.
 	vcsPerClass int
 	numVC       int
 
-	// PredictiveAcksSent counts router-originated notifications (GPA).
-	PredictiveAcksSent int64
-	// PredictiveAcksDropped counts notifications skipped for lack of
-	// buffer space.
-	PredictiveAcksDropped int64
-
-	// DroppedPkts counts packets lost on failed links (see health.go).
-	DroppedPkts int64
-	// UnreachableMsgs counts messages refused at injection because no
-	// healthy route existed.
-	UnreachableMsgs int64
-
-	// CreditsStalled counts deliveries refused by a full downstream buffer
-	// — each one parks a packet in the input latch and blocks its VC until
-	// the credit returns (the backpressure events of §2.1.3).
-	CreditsStalled int64
-	// DetouredAcks counts notifications rerouted around failed links via
-	// ackDetour.
-	DetouredAcks int64
-
 	// faultEpoch increments on every link up/down transition; zero means
 	// the fabric has always been healthy and health checks short-circuit.
+	// Sharded runs only mutate it inside barrier tasks, so mid-window
+	// reads are race-free.
 	faultEpoch uint64
-	// reachSets caches Reachable's per-source BFS until the next epoch.
-	reachEpoch uint64
-	reachSets  map[topology.RouterID][]bool
-	// ackDetours caches per-pair notification detours until the next epoch.
-	ackDetourEpoch uint64
-	ackDetours     map[flowPair]topology.Path
 }
 
 // flowPair keys per-(src,dst) caches.
@@ -75,8 +51,68 @@ type flowPair struct {
 	src, dst topology.NodeID
 }
 
-// New builds the network. policy must not be nil; collector may be nil.
+// New builds a serial network. policy must not be nil; collector may be
+// nil.
 func New(eng *sim.Engine, topo topology.Topology, cfg Config, policy RouterPolicy, collector *metrics.Collector) (*Network, error) {
+	sh := &Shard{Eng: eng, Collector: collector, idStride: 1}
+	n, err := build(topo, cfg, policy, []*Shard{sh}, nil)
+	if err != nil {
+		return nil, err
+	}
+	n.Eng = eng
+	n.Collector = collector
+	return n, nil
+}
+
+// NewSharded builds a network partitioned across the group's engines.
+// assign maps every router to a shard index (internal/topology.Partition
+// produces one); each terminal lives on its attach router's shard, so
+// terminal links never cross shards. collectors and tracers supply the
+// per-shard observation sinks (entries may be nil). The group's window
+// must not exceed Cfg.Lookahead() — the minimum cross-shard event
+// latency — or Run will panic on the first boundary crossing.
+func NewSharded(group *sim.ShardGroup, topo topology.Topology, cfg Config, policy RouterPolicy,
+	collectors []*metrics.Collector, tracers []*telemetry.Tracer, assign []int) (*Network, error) {
+	k := group.Shards()
+	if len(collectors) != k || len(tracers) != k {
+		return nil, fmt.Errorf("network: %d shards need %d collectors and tracers, got %d and %d",
+			k, k, len(collectors), len(tracers))
+	}
+	if len(assign) != topo.NumRouters() {
+		return nil, fmt.Errorf("network: assignment covers %d routers, topology has %d",
+			len(assign), topo.NumRouters())
+	}
+	if w := cfg.Lookahead(); group.Window > w {
+		return nil, fmt.Errorf("network: group window %d exceeds lookahead %d", group.Window, w)
+	}
+	shards := make([]*Shard, k)
+	for i := range shards {
+		shards[i] = &Shard{
+			Idx:       i,
+			Eng:       group.Engines[i],
+			Collector: collectors[i],
+			Tracer:    tracers[i],
+			nextPktID: uint64(i),
+			nextMsgID: uint64(i),
+			idStride:  uint64(k),
+		}
+	}
+	for _, s := range assign {
+		if s < 0 || s >= k {
+			return nil, fmt.Errorf("network: shard assignment %d out of range [0,%d)", s, k)
+		}
+	}
+	n, err := build(topo, cfg, policy, shards, assign)
+	if err != nil {
+		return nil, err
+	}
+	n.group = group
+	return n, nil
+}
+
+// build wires routers, NICs and links, attaching every component to its
+// owning shard. assign == nil means everything on shards[0].
+func build(topo topology.Topology, cfg Config, policy RouterPolicy, shards []*Shard, assign []int) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -84,11 +120,19 @@ func New(eng *sim.Engine, topo topology.Topology, cfg Config, policy RouterPolic
 		return nil, fmt.Errorf("network: nil routing policy")
 	}
 	n := &Network{
-		Eng:       eng,
-		Topo:      topo,
-		Cfg:       cfg,
-		Policy:    policy,
-		Collector: collector,
+		Topo:   topo,
+		Cfg:    cfg,
+		Policy: policy,
+		Shards: shards,
+	}
+	for _, sh := range shards {
+		sh.net = n
+	}
+	shardOf := func(r topology.RouterID) *Shard {
+		if assign == nil {
+			return shards[0]
+		}
+		return shards[assign[r]]
 	}
 	// Dateline channel pairs are only needed on topologies with ring
 	// (wraparound) links.
@@ -102,9 +146,10 @@ func New(eng *sim.Engine, topo topology.Topology, cfg Config, policy RouterPolic
 	}
 	n.numVC = numClasses * n.vcsPerClass
 
-	newPort := func(router topology.RouterID, port, capBytes int) *outPort {
+	newPort := func(sh *Shard, router topology.RouterID, port, capBytes int) *outPort {
 		op := &outPort{
 			net:       n,
+			sh:        sh,
 			router:    router,
 			port:      port,
 			vcCap:     capBytes,
@@ -112,42 +157,48 @@ func New(eng *sim.Engine, topo topology.Topology, cfg Config, policy RouterPolic
 			parked:    make([][]parkedDelivery, n.numVC),
 			parkedOut: make([]bool, n.numVC),
 		}
-		if collector != nil && router >= 0 {
+		if sh.Collector != nil && router >= 0 {
 			// Resolve the contention-metrics handle once, at wiring time.
-			op.obs = collector.Contention.Observer(int(router))
+			op.obs = sh.Collector.Contention.Observer(int(router))
 		}
 		return op
 	}
 	// Routers and their output ports.
 	n.Routers = make([]*Router, topo.NumRouters())
 	for r := range n.Routers {
-		rt := &Router{ID: topology.RouterID(r), net: n}
+		sh := shardOf(topology.RouterID(r))
+		rt := &Router{ID: topology.RouterID(r), net: n, sh: sh}
+		rt.mpBuf = make([]int, 0, topo.Radix(rt.ID))
 		rt.out = make([]*outPort, topo.Radix(rt.ID))
 		for p := range rt.out {
-			rt.out[p] = newPort(rt.ID, p, cfg.BufferBytes/n.numVC)
+			rt.out[p] = newPort(sh, rt.ID, p, cfg.BufferBytes/n.numVC)
 			rt.out[p].linkDim, rt.out[p].linkWrap = topo.LinkDim(rt.ID, p)
 		}
 		n.Routers[r] = rt
 	}
-	// NICs.
+	// NICs, co-located with their attach router's shard.
 	n.NICs = make([]*NIC, topo.NumTerminals())
 	for t := range n.NICs {
+		r, _ := topo.TerminalAttach(topology.NodeID(t))
+		sh := shardOf(r)
 		nic := &NIC{
 			ID:    topology.NodeID(t),
 			net:   n,
+			sh:    sh,
 			reasm: make(map[uint64]*reassembly),
 		}
-		if collector != nil {
-			nic.deliv = collector.DeliveryObserver(t)
+		if sh.Collector != nil {
+			nic.deliv = sh.Collector.DeliveryObserver(t)
 		}
 		// Source queues are effectively unbounded: the offered load is
 		// the experiment input and the growing injection queue is how
 		// saturation shows up as latency (§4.2's open-loop sources).
-		nic.out = newPort(topology.None, 0, 1<<40)
+		nic.out = newPort(sh, topology.None, 0, 1<<40)
 		nic.out.linkDim = -1
 		n.NICs[t] = nic
 	}
-	// Wire ports.
+	// Wire ports; router-router links whose ends live on different shards
+	// become boundary links served by the cross-shard protocol.
 	for r := range n.Routers {
 		rt := n.Routers[r]
 		for p := range rt.out {
@@ -160,8 +211,12 @@ func New(eng *sim.Engine, topo topology.Topology, cfg Config, policy RouterPolic
 				op.peer = n.NICs[peer.Terminal]
 				op.txExtra = cfg.LinkDelay
 			default:
-				op.peer = n.Routers[peer.Router]
+				target := n.Routers[peer.Router]
+				op.peer = target
 				op.txExtra = cfg.LinkDelay + cfg.RoutingDelay
+				if target.sh != rt.sh {
+					op.remote = &remoteLink{shard: target.sh.Idx, target: target}
+				}
 			}
 		}
 	}
@@ -213,6 +268,24 @@ func MustNew(eng *sim.Engine, topo topology.Topology, cfg Config, policy RouterP
 	return n
 }
 
+// SetTracer attaches the trace sink of a serial network. Sharded networks
+// take per-shard tracer forks at construction instead.
+func (n *Network) SetTracer(t *telemetry.Tracer) {
+	if n.group != nil {
+		panic("network: SetTracer on a sharded network; pass per-shard tracers to NewSharded")
+	}
+	n.Shards[0].Tracer = t
+}
+
+// Tracer returns the serial-mode trace sink (nil when disabled or
+// sharded).
+func (n *Network) Tracer() *telemetry.Tracer {
+	if n.group != nil {
+		return nil
+	}
+	return n.Shards[0].Tracer
+}
+
 // SetSourceController installs the same controller constructor on every
 // NIC. build receives the node and must return that node's controller (or
 // nil for direct injection).
@@ -236,9 +309,10 @@ func (n *Network) SetPortMonitor(m PortMonitor) {
 // source, carrying the full contending set and the reporting router.
 func (n *Network) injectPredictiveAcks(e *sim.Engine, from *outPort, flows []FlowKey, wait sim.Time) {
 	r := n.Routers[from.router]
-	n.Tracer.RouterEvent(e.Now(), telemetry.KindPredAck, int(from.router), from.port, int64(len(flows)))
+	sh := from.sh
+	sh.Tracer.RouterEvent(e.Now(), telemetry.KindPredAck, int(from.router), from.port, int64(len(flows)))
 	for _, f := range flows {
-		ack := n.newPacket()
+		ack := sh.newPacket()
 		ack.Type = AckPacket
 		ack.Src = f.Dst // lets the source attribute it to flow (f.Src -> f.Dst)
 		ack.Dst = f.Src
@@ -250,18 +324,21 @@ func (n *Network) injectPredictiveAcks(e *sim.Engine, from *outPort, flows []Flo
 		ack.ReportRouter = from.router
 		ack.Contending = flows
 		if r.injectAck(e, ack) {
-			n.PredictiveAcksSent++
+			sh.predictiveAcksSent++
 		} else {
-			n.PredictiveAcksDropped++
-			n.releasePacket(ack)
+			sh.predictiveAcksDropped++
+			sh.releasePacket(ack)
 		}
 	}
 }
 
-// Drain runs the engine until all queues empty or the horizon passes,
+// Drain runs the engine(s) until all queues empty or the horizon passes,
 // returning the number of events executed. Useful for closing out a run so
 // in-flight packets reach their sinks.
 func (n *Network) Drain(horizon sim.Time) uint64 {
+	if n.group != nil {
+		return n.group.Run(horizon)
+	}
 	return n.Eng.Run(horizon)
 }
 
@@ -297,11 +374,16 @@ func (n *Network) LinkStats() []LinkStat {
 	return out
 }
 
-// PacketPoolStats reports the packet pool's lifetime activity: packets
-// issued (IDs handed out, counting record reuse) and the freelist's
-// high-water mark (distinct records the run needed at once when idle).
+// PacketPoolStats reports the packet pools' lifetime activity across all
+// shards: packets issued (counting record reuse) and the freelists'
+// summed high-water mark (distinct records the run needed at once when
+// idle).
 func (n *Network) PacketPoolStats() (issued uint64, freePeak int) {
-	return n.nextPktID, n.pktFreePeak
+	for _, sh := range n.Shards {
+		issued += sh.pktIssued
+		freePeak += sh.pktFreePeak
+	}
+	return issued, freePeak
 }
 
 // TotalQueuedBytes sums buffered bytes across all router ports — a global

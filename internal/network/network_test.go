@@ -278,7 +278,7 @@ func TestRouterBasedNotification(t *testing.T) {
 	if len(predictive.Contending) == 0 {
 		t.Fatal("predictive ACK carries no contending flows")
 	}
-	if n.PredictiveAcksSent == 0 {
+	if n.PredictiveAcksSent() == 0 {
 		t.Fatal("GPA counter not incremented")
 	}
 }

@@ -32,6 +32,7 @@ type MessageHandler func(e *sim.Engine, src topology.NodeID, msgID uint64, bytes
 type NIC struct {
 	ID  topology.NodeID
 	net *Network
+	sh  *Shard // owning shard — the attach router's
 	out *outPort
 
 	// Source is the pluggable DRB/PR-DRB controller; nil means direct
@@ -68,17 +69,17 @@ func (n *NIC) Send(e *sim.Engine, dst topology.NodeID, bytes int, mpiType uint8,
 		panic("network: self-send reached the NIC; loopback is the host's job")
 	}
 	cfg := &n.net.Cfg
-	msgID := n.net.nextMsgID
-	n.net.nextMsgID++
+	msgID := n.sh.nextMsgID
+	n.sh.nextMsgID += n.sh.idStride
 	// Under an injured fabric a destination can be cut off entirely; refuse
 	// the message cleanly instead of wedging it in a queue no policy can
 	// serve. Fault-free runs never pay for the check.
 	if !n.net.Reachable(n.ID, dst) {
-		n.net.UnreachableMsgs++
-		if n.net.Collector != nil {
-			n.net.Collector.MessageUnreachable()
+		n.sh.unreachableMsgs++
+		if n.sh.Collector != nil {
+			n.sh.Collector.MessageUnreachable()
 		}
-		n.net.Tracer.Unreachable(e.Now(), int(n.ID), int(dst))
+		n.sh.Tracer.Unreachable(e.Now(), int(n.ID), int(dst))
 		return msgID
 	}
 	frags := (bytes + cfg.PacketBytes - 1) / cfg.PacketBytes
@@ -95,7 +96,7 @@ func (n *NIC) Send(e *sim.Engine, dst topology.NodeID, bytes int, mpiType uint8,
 			size = cfg.AckBytes // header floor
 		}
 		remaining -= cfg.PacketBytes
-		pkt := n.net.newPacket()
+		pkt := n.sh.newPacket()
 		pkt.Type = DataPacket
 		pkt.Src = n.ID
 		pkt.Dst = dst
@@ -114,11 +115,11 @@ func (n *NIC) Send(e *sim.Engine, dst topology.NodeID, bytes int, mpiType uint8,
 			panic("network: source controller set more waypoints than the header carries")
 		}
 		pkt.InjectedAt = e.Now()
-		if n.net.Collector != nil {
-			n.net.Collector.PacketInjected(pkt.SizeBytes)
+		if n.sh.Collector != nil {
+			n.sh.Collector.PacketInjected(pkt.SizeBytes)
 		}
-		if n.net.Tracer.Sampled(pkt.ID) {
-			n.net.Tracer.PacketInjected(e.Now(), pkt.ID, int(pkt.Src), int(pkt.Dst), pkt.SizeBytes)
+		if n.sh.Tracer.Sampled(pkt.ID) {
+			n.sh.Tracer.PacketInjected(e.Now(), pkt.ID, int(pkt.Src), int(pkt.Dst), pkt.SizeBytes)
 		}
 		n.out.enqueue(e, pkt, n.net.prepareVC(n.out, pkt))
 	}
@@ -139,19 +140,19 @@ func (n *NIC) accept(e *sim.Engine, pkt *Packet, _ *outPort, _ int) bool {
 		if n.OnAck != nil {
 			n.OnAck(e, pkt)
 		}
-		n.net.releasePacket(pkt)
+		n.sh.releasePacket(pkt)
 	case DataPacket:
 		if n.deliv.Valid() {
 			n.deliv.PacketDelivered(pkt.SizeBytes, e.Now()-pkt.CreatedAt, e.Now())
 		}
-		if n.net.Tracer.Sampled(pkt.ID) {
-			n.net.Tracer.PacketDelivered(e.Now(), pkt.ID, int(pkt.Src), int(pkt.Dst), e.Now()-pkt.CreatedAt)
+		if n.sh.Tracer.Sampled(pkt.ID) {
+			n.sh.Tracer.PacketDelivered(e.Now(), pkt.ID, int(pkt.Src), int(pkt.Dst), e.Now()-pkt.CreatedAt)
 		}
 		if n.net.Cfg.GenerateAcks {
 			n.sendAck(e, pkt)
 		}
 		n.reassemble(e, pkt)
-		n.net.releasePacket(pkt)
+		n.sh.releasePacket(pkt)
 	}
 	return true
 }
@@ -160,7 +161,7 @@ func (n *NIC) accept(e *sim.Engine, pkt *Packet, _ *outPort, _ int) bool {
 // path latency plus, unless a router already notified (P bit, §3.4.2), the
 // contending flows logged into the packet's predictive header.
 func (n *NIC) sendAck(e *sim.Engine, pkt *Packet) {
-	ack := n.net.newPacket()
+	ack := n.sh.newPacket()
 	ack.Type = AckPacket
 	ack.Src = n.ID
 	ack.Dst = pkt.Src
@@ -181,7 +182,7 @@ func (n *NIC) sendAck(e *sim.Engine, pkt *Packet) {
 	// short-circuits at fault epoch zero).
 	if detour := n.net.ackDetour(n.ID, pkt.Src); detour != nil {
 		ack.Waypoints = detour
-		n.net.DetouredAcks++
+		n.sh.detouredAcks++
 	}
 	n.out.enqueue(e, ack, n.net.prepareVC(n.out, ack))
 }

@@ -1,6 +1,6 @@
 package network
 
-// Per-simulation packet freelist. A saturated run moves millions of packets
+// Per-shard packet freelist. A saturated run moves millions of packets
 // and — before pooling — allocated every one of them; recycling the records
 // keeps the steady-state injection path allocation-free and GC-quiet.
 //
@@ -11,8 +11,9 @@ package network
 //     (Network.injectPredictiveAcks).
 //   - It is released exactly once, by its final owner: the destination NIC
 //     after the sink handlers return (NIC.accept), the drop path for
-//     packets lost on a failed link (Network.dropPacket), or the GPA module
-//     when a predictive ACK finds no buffer space (injectPredictiveAcks).
+//     packets lost on a failed link (Network.dropPacketAt), or the GPA
+//     module when a predictive ACK finds no buffer space
+//     (injectPredictiveAcks).
 //   - Release zeroes every field (`*p = Packet{}`), so a stale reference
 //     can never observe the next occupant's identity. Slice fields
 //     (Waypoints, Contending) only have the reference dropped — their
@@ -21,33 +22,40 @@ package network
 //     detour path) and are never scrubbed or reused by the pool.
 //   - Callbacks that receive a *Packet (HandleAck, OnAck, HandlePacketLoss,
 //     PortMonitor) must copy what they need and not retain the pointer.
+//   - A packet that crosses a shard boundary changes pools: the receiving
+//     shard becomes its final owner and releases it into its own freelist.
+//     Records are interchangeable (identity is reassigned at issue), so
+//     migration is harmless.
 //
-// The pool is deterministic: it is plain per-Network state touched only
-// from engine callbacks, so identical seeds yield identical packet-record
-// reuse orders (and identical simulations — packet identity never leaks
-// into behaviour).
+// The pool is deterministic: it is plain per-shard state touched only from
+// that shard's engine callbacks, so identical seeds yield identical
+// packet-record reuse orders (and identical simulations — packet identity
+// never leaks into behaviour).
 
-// newPacket returns a zeroed packet carrying the next packet ID.
-func (n *Network) newPacket() *Packet {
+// newPacket returns a zeroed packet carrying the shard's next packet ID
+// (strided by the shard count so IDs are globally unique and per-shard
+// sequences are shard-count-independent).
+func (sh *Shard) newPacket() *Packet {
 	var p *Packet
-	if k := len(n.pktFree); k > 0 {
-		p = n.pktFree[k-1]
-		n.pktFree[k-1] = nil
-		n.pktFree = n.pktFree[:k-1]
+	if k := len(sh.pktFree); k > 0 {
+		p = sh.pktFree[k-1]
+		sh.pktFree[k-1] = nil
+		sh.pktFree = sh.pktFree[:k-1]
 	} else {
 		p = &Packet{}
 	}
-	p.ID = n.nextPktID
-	n.nextPktID++
+	p.ID = sh.nextPktID
+	sh.nextPktID += sh.idStride
+	sh.pktIssued++
 	return p
 }
 
 // releasePacket zeroes p and returns it to the freelist. The caller must be
 // the packet's final owner.
-func (n *Network) releasePacket(p *Packet) {
+func (sh *Shard) releasePacket(p *Packet) {
 	*p = Packet{}
-	n.pktFree = append(n.pktFree, p)
-	if len(n.pktFree) > n.pktFreePeak {
-		n.pktFreePeak = len(n.pktFree)
+	sh.pktFree = append(sh.pktFree, p)
+	if len(sh.pktFree) > sh.pktFreePeak {
+		sh.pktFreePeak = len(sh.pktFree)
 	}
 }

@@ -15,7 +15,7 @@ import (
 func TestPacketPoolReuseAndZeroing(t *testing.T) {
 	n := testNet(t, topology.NewMesh(2, 1), nil)
 
-	p1 := n.newPacket()
+	p1 := n.Shards[0].newPacket()
 	p1.Type = DataPacket
 	p1.Src, p1.Dst = 0, 1
 	p1.SizeBytes = 1024
@@ -24,15 +24,15 @@ func TestPacketPoolReuseAndZeroing(t *testing.T) {
 	p1.Contending = append(p1.Contending, FlowKey{Src: 0, Dst: 1})
 	id1 := p1.ID
 
-	n.releasePacket(p1)
-	if got := len(n.pktFree); got != 1 {
+	n.Shards[0].releasePacket(p1)
+	if got := len(n.Shards[0].pktFree); got != 1 {
 		t.Fatalf("freelist holds %d records after one release, want 1", got)
 	}
 	if !reflect.DeepEqual(*p1, Packet{}) {
 		t.Fatalf("released packet not zeroed: %+v", *p1)
 	}
 
-	p2 := n.newPacket()
+	p2 := n.Shards[0].newPacket()
 	if p2 != p1 {
 		t.Fatalf("second acquire did not reuse the released record")
 	}
@@ -90,8 +90,8 @@ func TestDropReleasedPacketDoesNotAlias(t *testing.T) {
 		t.Fatalf("no drop observed; scenario no longer exercises the drop path")
 	}
 	// The run is drained: every packet ever acquired is back in the pool.
-	inPool := make(map[*Packet]int, len(n.pktFree))
-	for _, p := range n.pktFree {
+	inPool := make(map[*Packet]int, len(n.Shards[0].pktFree))
+	for _, p := range n.Shards[0].pktFree {
 		inPool[p]++
 	}
 	for ptr, cnt := range inPool {
@@ -104,7 +104,7 @@ func TestDropReleasedPacketDoesNotAlias(t *testing.T) {
 			t.Fatalf("dropped packet %d (ID %d) never returned to the pool", i, spy.snaps[i].ID)
 		}
 	}
-	for _, p := range n.pktFree {
+	for _, p := range n.Shards[0].pktFree {
 		if !reflect.DeepEqual(*p, Packet{}) {
 			t.Fatalf("pooled record not zeroed at rest: %+v", *p)
 		}
@@ -116,8 +116,8 @@ func TestDropReleasedPacketDoesNotAlias(t *testing.T) {
 			t.Fatalf("drop snapshot %d corrupted: %+v", i, s)
 		}
 	}
-	if acc := n.Collector.Throughput.AcceptedPkts; acc+n.DroppedPkts != 8 {
-		t.Fatalf("accepted %d + dropped %d != 8 injected", acc, n.DroppedPkts)
+	if acc := n.Collector.Throughput.AcceptedPkts; acc+n.DroppedPkts() != 8 {
+		t.Fatalf("accepted %d + dropped %d != 8 injected", acc, n.DroppedPkts())
 	}
 }
 
@@ -150,7 +150,7 @@ func TestPoolRecycleKeepsDeliveryIdentity(t *testing.T) {
 	}
 	// Steady-state wire traffic with one packet in flight plus one queued
 	// must not grow the pool without bound.
-	if len(n.pktFree) > 8 {
-		t.Fatalf("pool grew to %d records for a serialized 2-node wire", len(n.pktFree))
+	if len(n.Shards[0].pktFree) > 8 {
+		t.Fatalf("pool grew to %d records for a serialized 2-node wire", len(n.Shards[0].pktFree))
 	}
 }

@@ -37,9 +37,14 @@ type vcQueue struct {
 // arbitration (Fig 4.6) and a single serializing link.
 type outPort struct {
 	net    *Network
+	sh     *Shard            // owning shard (the serial network's only one)
 	router topology.RouterID // owning router, or -1 for a NIC port
 	port   int
 	peer   receiver
+	// remote marks a boundary link: the peer router lives on another
+	// shard and deliveries travel the cross-shard protocol (shard.go).
+	// Nil for intra-shard links and always nil in serial mode.
+	remote *remoteLink
 	// txExtra is the fixed post-serialization delay: propagation plus, for
 	// router peers, the routing pipeline delay.
 	txExtra sim.Time
@@ -146,15 +151,24 @@ func (o *outPort) enqueue(e *sim.Engine, pkt *Packet, vc int) {
 }
 
 // pickVC round-robins over the non-empty virtual channels, skipping VCs
-// whose downstream latch is occupied (no credit).
+// whose downstream latch is occupied (no credit). The wrap is a compare,
+// not a modulo: this runs once per transmitted packet and the hardware
+// divide was a measurable slice of the whole simulation.
 func (o *outPort) pickVC() int {
 	n := len(o.vcs)
+	vc := o.rr
 	for i := 0; i < n; i++ {
-		vc := (o.rr + i) % n
+		if vc >= n {
+			vc -= n
+		}
 		if len(o.vcs[vc].q) > 0 && !o.parkedOut[vc] {
-			o.rr = (vc + 1) % n
+			o.rr = vc + 1
+			if o.rr >= n {
+				o.rr = 0
+			}
 			return vc
 		}
+		vc++
 	}
 	return -1
 }
@@ -184,8 +198,8 @@ func (o *outPort) pump(e *sim.Engine) {
 		if o.obs.Valid() {
 			o.obs.Observe(wait, e.Now())
 		}
-		if o.net.Tracer.Sampled(pkt.ID) {
-			o.net.Tracer.PacketHop(e.Now(), pkt.ID, int(o.router), o.port, wait)
+		if o.sh.Tracer.Sampled(pkt.ID) {
+			o.sh.Tracer.PacketHop(e.Now(), pkt.ID, int(o.router), o.port, wait)
 		}
 		o.monitorDeparture(e, pkt, wait)
 	}
@@ -209,8 +223,39 @@ func (o *outPort) pump(e *sim.Engine) {
 	o.serEnd = e.Now() + ser
 	o.busyNs += ser
 	o.txBytes += int64(pkt.SizeBytes)
+	if o.remote != nil {
+		o.sendRemote(e, pkt, vc, cut)
+		return
+	}
 	o.inflight = pkt
 	e.AfterEvent(cut+o.txExtra, o, portEvDeliver, uint64(vc))
+}
+
+// sendRemote ships the packet across a shard boundary with exactly the
+// arrival timestamp the local deliver event would have had (cut-through
+// header time plus link/routing delay — at least the group lookahead, so
+// the destination shard has not advanced past it). Flow control turns
+// pessimistic at boundaries: every transmission parks the VC until the
+// receiver returns the credit, one lookahead after arrival. Data packets
+// serialize for longer than that round trip, so only the narrow ACK
+// channel feels the throttle. The physical link itself frees at the same
+// instant the local path would have freed it.
+func (o *outPort) sendRemote(e *sim.Engine, pkt *Packet, vc int, cut sim.Time) {
+	arrive := e.Now() + cut + o.txExtra
+	o.parkedOut[vc] = true
+	o.net.group.Send(o.sh.Idx, o.remote.shard, sim.RemoteEvent{
+		At:     arrive,
+		Target: o.remote.target,
+		Kind:   remoteDeliver,
+		Arg:    uint64(vc),
+		Ptr:    pkt,
+		Aux:    o,
+	})
+	free := o.serEnd
+	if arrive > free {
+		free = arrive
+	}
+	e.ScheduleEvent(free, o, portEvFree, uint64(o.serEnd))
 }
 
 // monitorDeparture drives CFD (§3.3.2) and any attached PortMonitor. The
@@ -333,7 +378,7 @@ func (o *outPort) deliver(e *sim.Engine, pkt *Packet, vc int) {
 	if o.down {
 		// The link died under the packet: it is lost. The link is still
 		// freed so service restarts cleanly after repair.
-		o.net.dropPacket(e, pkt, int(o.router))
+		o.net.dropPacketAt(e, o.sh, pkt, int(o.router))
 		o.freeLink(e)
 		return
 	}
@@ -344,7 +389,7 @@ func (o *outPort) deliver(e *sim.Engine, pkt *Packet, vc int) {
 	}
 	if !o.peer.accept(e, pkt, o, vc) {
 		o.parkedOut[vc] = true
-		o.net.CreditsStalled++
+		o.sh.creditsStalled++
 	}
 	o.freeLink(e)
 }
@@ -377,6 +422,12 @@ func (o *outPort) admitParked(e *sim.Engine) {
 			copy(o.parked[vc], o.parked[vc][1:])
 			o.parked[vc] = o.parked[vc][:len(o.parked[vc])-1]
 			o.enqueue(e, pd.pkt, vc)
+			if pd.from.sh != o.sh {
+				// The sender lives on another shard: its pessimistic
+				// credit comes back over the boundary, one lookahead out.
+				o.sh.sendCredit(e, pd.from, pd.fromVC)
+				continue
+			}
 			// Return the credit via a fresh event to bound recursion depth.
 			e.AfterEvent(0, pd.from, portEvCredit, uint64(pd.fromVC))
 		}

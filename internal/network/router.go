@@ -24,12 +24,25 @@ type RouterPolicy interface {
 type Router struct {
 	ID  topology.RouterID
 	net *Network
+	sh  *Shard // owning shard; all of this router's events run on its engine
 	out []*outPort
+	// mpBuf is this router's private MinimalPorts scratch (cap = radix).
+	// Routing decisions for a router always run on its shard's engine, so
+	// per-router scratch is race-free under parallel shards while keeping
+	// the per-decision call allocation-free.
+	mpBuf []int
 }
 
 // Net returns the owning network (topology, config and RNG access for
 // policies).
 func (r *Router) Net() *Network { return r.net }
+
+// MinimalPorts returns the minimal output ports at r toward dst, using the
+// router's private scratch buffer. The result is valid until this router's
+// next MinimalPorts call and must not be mutated.
+func (r *Router) MinimalPorts(dst topology.NodeID) []int {
+	return r.net.Topo.MinimalPorts(r.ID, dst, r.mpBuf)
+}
 
 // OutLoad returns the queued bytes at output port p — the congestion signal
 // adaptive policies compare (§2.1.4 "adaptive algorithms take into account

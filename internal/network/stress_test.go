@@ -27,8 +27,7 @@ func (adaptivePolicy) OutputPort(r *Router, pkt *Packet) int {
 	if target, ok := pkt.CurrentTarget(); ok {
 		return r.Net().Topo.NextHopToRouter(r.ID, target)
 	}
-	topo := r.Net().Topo
-	ports := topo.MinimalPorts(r.ID, pkt.Dst)
+	ports := r.MinimalPorts(pkt.Dst)
 	best, bestLoad := ports[0], r.OutLoad(ports[0])
 	for _, p := range ports[1:] {
 		if l := r.OutLoad(p); l < bestLoad {

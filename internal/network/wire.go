@@ -140,10 +140,21 @@ func DecodeHeader(buf []byte) (*Packet, error) {
 	if len(rest) < 8 {
 		return nil, fmt.Errorf("network: truncated predictive header")
 	}
+	if rest[6] != 0 || rest[7] != 0 {
+		return nil, fmt.Errorf("network: option reserved bytes not zero")
+	}
 	p.ReportRouter = topology.RouterID(be.Uint32(rest[2:]))
 	flows := rest[8:]
 	if len(flows)%8 != 0 {
 		return nil, fmt.Errorf("network: predictive flow list length %d not a multiple of 8", len(flows))
+	}
+	if len(flows)/8 > 28 {
+		// Same capacity bound EncodeHeader enforces: anything beyond it
+		// could never have been emitted by a conforming router.
+		return nil, fmt.Errorf("network: %d contending flows exceed option capacity", len(flows)/8)
+	}
+	if int(rest[1]) != 8*(len(flows)/8)+1 {
+		return nil, fmt.Errorf("network: option length byte %d does not match %d flows", rest[1], len(flows)/8)
 	}
 	for i := 0; i+8 <= len(flows); i += 8 {
 		p.Contending = append(p.Contending, FlowKey{

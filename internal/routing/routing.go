@@ -47,8 +47,10 @@ func UpPorts(r *network.Router, ports []int) []int {
 
 // HealthyMinimalPorts returns the live minimal ports at r toward dst,
 // falling back to the full minimal set when the failure cut them all off.
+// It routes through the router's private scratch buffer, so concurrent
+// shards deciding at different routers never share topology state.
 func HealthyMinimalPorts(r *network.Router, dst topology.NodeID) []int {
-	return UpPorts(r, r.Net().Topo.MinimalPorts(r.ID, dst))
+	return UpPorts(r, r.MinimalPorts(dst))
 }
 
 // Deterministic always follows the topology's baseline deterministic
@@ -91,13 +93,20 @@ func (p *Random) OutputPort(r *network.Router, pkt *network.Packet) int {
 
 // Cyclic is the cyclic-priority policy of §4.8.4: minimal ports are used in
 // round-robin order per router, spreading successive packets regardless of
-// load.
+// load. State is one counter per router, indexed by router ID; counters
+// start at zero either way, so the lazily-grown (serial) and presized
+// (sharded) variants produce identical port sequences.
 type Cyclic struct {
-	next map[topology.RouterID]int
+	next []int
 }
 
-// NewCyclic builds a Cyclic policy.
-func NewCyclic() *Cyclic { return &Cyclic{next: make(map[topology.RouterID]int)} }
+// NewCyclic builds a Cyclic policy whose per-router counters grow lazily.
+func NewCyclic() *Cyclic { return &Cyclic{} }
+
+// NewCyclicSized builds a Cyclic policy with all per-router counters
+// preallocated. Sharded runs need this: lazy growth would be a data race
+// when routers on different shards first touch the policy concurrently.
+func NewCyclicSized(routers int) *Cyclic { return &Cyclic{next: make([]int, routers)} }
 
 // Name implements network.RouterPolicy.
 func (p *Cyclic) Name() string { return "cyclic" }
@@ -106,6 +115,11 @@ func (p *Cyclic) Name() string { return "cyclic" }
 func (p *Cyclic) OutputPort(r *network.Router, pkt *network.Packet) int {
 	if port, ok := waypointPort(r, pkt); ok {
 		return port
+	}
+	if int(r.ID) >= len(p.next) {
+		grown := make([]int, r.Net().Topo.NumRouters())
+		copy(grown, p.next)
+		p.next = grown
 	}
 	ports := HealthyMinimalPorts(r, pkt.Dst)
 	i := p.next[r.ID] % len(ports)
@@ -141,6 +155,38 @@ func (Adaptive) OutputPort(r *network.Router, pkt *network.Packet) int {
 	return best
 }
 
+// RandomPerRouter is the sharded variant of Random: one RNG stream per
+// router, so concurrent shards never contend on a shared generator and a
+// router's draw sequence depends only on (seed, router), not on the global
+// interleaving of routing decisions. That is what makes random routing
+// deterministic under parallel execution — and identical across shard
+// counts and GOMAXPROCS for a fixed seed.
+type RandomPerRouter struct {
+	rngs []*sim.RNG
+}
+
+// NewRandomPerRouter builds per-router RNG streams for the given router
+// count, each derived from seed and the router ID.
+func NewRandomPerRouter(seed uint64, routers int) *RandomPerRouter {
+	p := &RandomPerRouter{rngs: make([]*sim.RNG, routers)}
+	for i := range p.rngs {
+		p.rngs[i] = sim.NewRNG(seed ^ 0x5ca1ab1e ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
+	}
+	return p
+}
+
+// Name implements network.RouterPolicy.
+func (p *RandomPerRouter) Name() string { return "random" }
+
+// OutputPort implements network.RouterPolicy.
+func (p *RandomPerRouter) OutputPort(r *network.Router, pkt *network.Packet) int {
+	if port, ok := waypointPort(r, pkt); ok {
+		return port
+	}
+	ports := HealthyMinimalPorts(r, pkt.Dst)
+	return ports[p.rngs[r.ID].Intn(len(ports))]
+}
+
 // ByName returns the named baseline policy, or nil for an unknown name.
 // seed feeds the stochastic policies.
 func ByName(name string, seed uint64) network.RouterPolicy {
@@ -155,4 +201,20 @@ func ByName(name string, seed uint64) network.RouterPolicy {
 		return Adaptive{}
 	}
 	return nil
+}
+
+// ByNameSharded returns the named policy in its shard-safe form: all policy
+// state is either absent, per-router, or preallocated, so routers on
+// different shards can consult the policy concurrently without races.
+// Deterministic and Adaptive are stateless and shared as-is. Serial runs
+// keep ByName so historical RNG consumption (one global stream) — and with
+// it the committed goldens — is untouched.
+func ByNameSharded(name string, seed uint64, routers int) network.RouterPolicy {
+	switch name {
+	case "random":
+		return NewRandomPerRouter(seed, routers)
+	case "cyclic":
+		return NewCyclicSized(routers)
+	}
+	return ByName(name, seed)
 }

@@ -74,6 +74,15 @@ type Experiment struct {
 	// SeriesWindow enables windowed time series at this granularity
 	// (0 = disabled).
 	SeriesWindow sim.Time
+	// Shards selects the conservative-parallel engine: the topology is
+	// partitioned into this many shards, each with its own event engine,
+	// synchronized in lookahead-bounded time windows. 0 or 1 runs the
+	// serial engine (bit-identical to the historical behaviour). Results
+	// for a fixed (seed, shards) pair are deterministic and independent of
+	// GOMAXPROCS; across shard counts, delivered traffic and aggregate
+	// metrics agree on drained lossless runs while event interleavings may
+	// differ. Trace replay (PlayTrace) requires the serial engine.
+	Shards int
 	// Telemetry attaches an observability bundle (event tracer + metrics
 	// registry) at wiring time. Nil falls back to DefaultTelemetry; when
 	// both are nil the simulation carries nil handles and tracing costs
@@ -87,11 +96,21 @@ type Experiment struct {
 // sweeps) need no per-site plumbing.
 var DefaultTelemetry *telemetry.Telemetry
 
+// DefaultShards, when > 1, selects the conservative-parallel engine for
+// every simulation built without an explicit Experiment.Shards — the
+// -shards analogue of DefaultTelemetry for the experiment registry.
+var DefaultShards int
+
 // Sim is an assembled simulation ready to accept workloads.
 type Sim struct {
-	Exp         Experiment
-	Eng         *sim.Engine
-	Net         *network.Network
+	Exp Experiment
+	// Eng is the serial engine; nil when the simulation is sharded (use
+	// Net.EngineForNode or Net.Group then).
+	Eng *sim.Engine
+	Net *network.Network
+	// Collector is the run's metric view. In sharded mode it is the merge
+	// of the per-shard collectors, refreshed by Summarize (and therefore
+	// by Execute); read it after summarizing.
 	Collector   *metrics.Collector
 	Controllers []*core.Controller // nil entries for baselines
 	// Telemetry is the attached observability bundle (nil when off).
@@ -116,6 +135,9 @@ func newBuilder(exp Experiment) *builder {
 	}
 	if exp.Policy == "" {
 		exp.Policy = PolicyDeterministic
+	}
+	if exp.Shards == 0 {
+		exp.Shards = DefaultShards
 	}
 	return &builder{exp: exp}
 }
@@ -145,7 +167,13 @@ func (b *builder) resolvePolicy() error {
 		b.drbCfg = drbCfg
 		return nil
 	}
-	b.rp = routing.ByName(string(b.exp.Policy), b.exp.Seed)
+	if b.exp.Shards > 1 {
+		// Parallel shards consult the policy concurrently: use the
+		// shard-safe variants (per-router RNG streams, presized state).
+		b.rp = routing.ByNameSharded(string(b.exp.Policy), b.exp.Seed, b.exp.Topology.NumRouters())
+	} else {
+		b.rp = routing.ByName(string(b.exp.Policy), b.exp.Seed)
+	}
 	if b.rp == nil {
 		return fmt.Errorf("prdrb: unknown policy %q", b.exp.Policy)
 	}
@@ -155,36 +183,66 @@ func (b *builder) resolvePolicy() error {
 	return nil
 }
 
-// build assembles engine, collector, network, telemetry and controllers.
+// build assembles engine(s), collector(s), network, telemetry and
+// controllers.
 func (b *builder) build() (*Sim, error) {
-	eng := sim.NewEngine()
-	col := metrics.NewCollector(b.exp.Topology.NumTerminals(), b.exp.Topology.NumRouters(), b.exp.SeriesWindow)
-	net, err := network.New(eng, b.exp.Topology, b.netCfg, b.rp, col)
-	if err != nil {
-		return nil, err
-	}
 	tel := b.exp.Telemetry
 	if tel == nil {
 		tel = DefaultTelemetry
 	}
 	if tel != nil {
-		// Attach the tracer before controller installation: controllers
-		// resolve their trace handle from the network at wiring time.
-		// Each simulation opens its own run scope so packet IDs stay
-		// unambiguous when one tracer spans a sweep of runs.
+		// Open the run scope before any tracer handles are resolved (shard
+		// forks inherit it), so packet IDs stay unambiguous when one tracer
+		// spans a sweep of runs.
 		tel.Tracer.BeginRun(fmt.Sprintf("%s/seed%d", b.exp.Policy, b.exp.Seed))
-		net.Tracer = tel.Tracer
 	}
 	s := &Sim{
 		Exp:       b.exp,
-		Eng:       eng,
-		Net:       net,
-		Collector: col,
 		Telemetry: tel,
 		rng:       sim.NewRNG(b.exp.Seed ^ 0xb5297a4d),
 	}
+	terms, routers := b.exp.Topology.NumTerminals(), b.exp.Topology.NumRouters()
+	if b.exp.Shards > 1 {
+		// Conservative-parallel build: partition routers, one engine +
+		// collector + tracer fork per shard, windows bounded by the
+		// fabric's minimum cross-link latency.
+		assign, err := topology.Partition(b.exp.Topology, b.exp.Shards)
+		if err != nil {
+			return nil, err
+		}
+		group := sim.NewShardGroup(b.exp.Shards, b.netCfg.Lookahead())
+		cols := make([]*metrics.Collector, b.exp.Shards)
+		tracers := make([]*telemetry.Tracer, b.exp.Shards)
+		for i := range cols {
+			cols[i] = metrics.NewCollector(terms, routers, b.exp.SeriesWindow)
+			if tel != nil {
+				tracers[i] = tel.Tracer.Fork()
+			}
+		}
+		net, err := network.NewSharded(group, b.exp.Topology, b.netCfg, b.rp, cols, tracers, assign)
+		if err != nil {
+			return nil, err
+		}
+		s.Net = net
+		s.Collector = metrics.MergeCollectors(cols)
+	} else {
+		eng := sim.NewEngine()
+		col := metrics.NewCollector(terms, routers, b.exp.SeriesWindow)
+		net, err := network.New(eng, b.exp.Topology, b.netCfg, b.rp, col)
+		if err != nil {
+			return nil, err
+		}
+		if tel != nil {
+			// Attach the tracer before controller installation: controllers
+			// resolve their trace handle from the network at wiring time.
+			net.SetTracer(tel.Tracer)
+		}
+		s.Eng = eng
+		s.Net = net
+		s.Collector = col
+	}
 	if b.useDRB {
-		s.Controllers = core.Install(net, b.drbCfg, b.exp.Seed+0xd4b)
+		s.Controllers = core.Install(s.Net, b.drbCfg, b.exp.Seed+0xd4b)
 	}
 	if tel != nil {
 		s.registerStandardMetrics(tel.Registry)
@@ -196,18 +254,37 @@ func (b *builder) build() (*Sim, error) {
 // registry as gauges: nothing is recorded until a snapshot is taken, so
 // registration has zero hot-path cost.
 func (s *Sim) registerStandardMetrics(r *telemetry.Registry) {
-	eng, net := s.Eng, s.Net
-	r.Gauge("engine.events_processed", func() int64 { return int64(eng.Processed) })
-	r.Gauge("engine.queue_peak", func() int64 { return int64(eng.PeakQueue()) })
-	r.Gauge("engine.freelist_len", func() int64 { return int64(eng.FreeListLen()) })
+	net := s.Net
+	// Engine gauges sum over shards; the serial network has exactly one.
+	r.Gauge("engine.events_processed", func() int64 {
+		var n uint64
+		for _, sh := range net.Shards {
+			n += sh.Eng.Processed
+		}
+		return int64(n)
+	})
+	r.Gauge("engine.queue_peak", func() int64 {
+		var n int
+		for _, sh := range net.Shards {
+			n += sh.Eng.PeakQueue()
+		}
+		return int64(n)
+	})
+	r.Gauge("engine.freelist_len", func() int64 {
+		var n int
+		for _, sh := range net.Shards {
+			n += sh.Eng.FreeListLen()
+		}
+		return int64(n)
+	})
 	r.Gauge("net.packets_issued", func() int64 { i, _ := net.PacketPoolStats(); return int64(i) })
 	r.Gauge("net.packet_pool_peak", func() int64 { _, p := net.PacketPoolStats(); return int64(p) })
-	r.Gauge("net.credits_stalled", func() int64 { return net.CreditsStalled })
-	r.Gauge("net.dropped_pkts", func() int64 { return net.DroppedPkts })
-	r.Gauge("net.unreachable_msgs", func() int64 { return net.UnreachableMsgs })
-	r.Gauge("net.predictive_acks_sent", func() int64 { return net.PredictiveAcksSent })
-	r.Gauge("net.predictive_acks_dropped", func() int64 { return net.PredictiveAcksDropped })
-	r.Gauge("net.detoured_acks", func() int64 { return net.DetouredAcks })
+	r.Gauge("net.credits_stalled", net.CreditsStalled)
+	r.Gauge("net.dropped_pkts", net.DroppedPkts)
+	r.Gauge("net.unreachable_msgs", net.UnreachableMsgs)
+	r.Gauge("net.predictive_acks_sent", net.PredictiveAcksSent)
+	r.Gauge("net.predictive_acks_dropped", net.PredictiveAcksDropped)
+	r.Gauge("net.detoured_acks", net.DetouredAcks)
 	if s.Controllers != nil {
 		ctls := s.Controllers
 		r.Gauge("drb.soldb_size", func() int64 {
@@ -396,8 +473,12 @@ func (s *Sim) InstallVariableBursts(specs []BurstSpec, count int) (sim.Time, err
 }
 
 // PlayTrace prepares a logical-trace replay on the simulation (mapping nil
-// = rank i on node i) and starts it at time 0.
+// = rank i on node i) and starts it at time 0. Replay drives the serial
+// engine directly, so it refuses sharded simulations.
 func (s *Sim) PlayTrace(tr *trace.Trace, mapping []topology.NodeID) (*trace.Replay, error) {
+	if s.Net.Sharded() {
+		return nil, fmt.Errorf("prdrb: trace replay requires the serial engine (shards=1), got %d shards", s.Exp.Shards)
+	}
 	rep, err := trace.NewReplay(s.Net, tr, mapping)
 	if err != nil {
 		return nil, err
@@ -445,15 +526,40 @@ type Results struct {
 	Elapsed sim.Time
 }
 
-// Execute runs the engine until the event queue drains or horizon passes,
-// then summarizes. It can be called repeatedly with growing horizons.
+// Execute runs the engine(s) until the event queues drain or horizon
+// passes, then summarizes. It can be called repeatedly with growing
+// horizons. Sharded simulations run their shard group (in parallel when
+// GOMAXPROCS allows; the results are identical either way).
 func (s *Sim) Execute(horizon sim.Time) Results {
-	s.Eng.Run(horizon)
+	s.Net.Drain(horizon)
 	return s.Summarize()
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() sim.Time {
+	if g := s.Net.Group(); g != nil {
+		return g.Now()
+	}
+	return s.Eng.Now()
+}
+
+// refresh folds per-shard observation state into the run-level view: the
+// merged collector and the absorbed trace buffers. Serial simulations need
+// neither. Safe to call repeatedly; shard trace buffers drain into the
+// parent in time order.
+func (s *Sim) refresh() {
+	if !s.Net.Sharded() {
+		return
+	}
+	s.Collector = metrics.MergeCollectors(s.Net.ShardCollectors())
+	if s.Telemetry != nil {
+		s.Telemetry.Tracer.Absorb(s.Net.ShardTracers())
+	}
 }
 
 // Summarize snapshots the current metrics without running the engine.
 func (s *Sim) Summarize() Results {
+	s.refresh()
 	peakR, peakNs := s.Collector.Contention.Peak()
 	label := ""
 	if peakR >= 0 {
@@ -469,9 +575,9 @@ func (s *Sim) Summarize() Results {
 		AvgContentionUs:  s.Collector.Contention.GlobalAvg() / 1e3,
 		AcceptedRatio:    s.Collector.Throughput.AcceptedRatio(),
 		DeliveredPkts:    s.Collector.Throughput.AcceptedPkts,
-		DroppedPkts:      s.Net.DroppedPkts,
-		UnreachableMsgs:  s.Net.UnreachableMsgs,
-		Elapsed:          s.Eng.Now(),
+		DroppedPkts:      s.Net.DroppedPkts(),
+		UnreachableMsgs:  s.Net.UnreachableMsgs(),
+		Elapsed:          s.Now(),
 	}
 	if s.Collector.Recovery.Count() > 0 {
 		res.RecoveryP50Us = s.Collector.Recovery.Quantile(0.5) / 1e3
@@ -506,6 +612,7 @@ func (s *Sim) ImportKnowledge(k *core.Knowledge) error {
 
 // Map builds the latency surface map (§4.2) from the contention collector.
 func (s *Sim) Map() *metrics.LatencyMap {
+	s.refresh()
 	return metrics.BuildLatencyMap(s.Collector.Contention, func(r int) string {
 		return s.Net.Topo.RouterLabel(topology.RouterID(r))
 	})
@@ -515,6 +622,7 @@ func (s *Sim) Map() *metrics.LatencyMap {
 // and torus topologies (the textual form of Figs 4.10/4.11); other
 // topologies fall back to the tabular map.
 func (s *Sim) MapSurface() string {
+	s.refresh()
 	if m, ok := s.Net.Topo.(*topology.Mesh); ok {
 		return metrics.RenderSurface(s.Collector.Contention, m.W, m.H, func(r int) (int, int, bool) {
 			x, y := m.Coord(topology.RouterID(r))
@@ -527,7 +635,7 @@ func (s *Sim) MapSurface() string {
 // Energy converts this run's measured link occupancy into an energy
 // estimate and the savings an idle-gating policy would reach.
 func (s *Sim) Energy(m provision.EnergyModel) provision.EnergyReport {
-	return provision.Energy(s.Net.LinkStats(), s.Eng.Now(), m)
+	return provision.Energy(s.Net.LinkStats(), s.Now(), m)
 }
 
 // String renders a one-line result summary.

@@ -108,6 +108,10 @@ type Engine struct {
 	free []*event
 	// Processed counts events executed, useful for perf accounting.
 	Processed uint64
+	// wheel, when non-nil, switches the scheduler to the windowed-wheel
+	// mode used by shard engines (see wheel.go). The heap then only holds
+	// far-future overflow events.
+	wheel *wheel
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -216,7 +220,11 @@ func (e *Engine) alloc(at Time) *event {
 	}
 	e.seq++
 	e.pending++
-	e.heapPush(ev)
+	if e.wheel != nil {
+		e.wheelPush(ev)
+	} else {
+		e.heapPush(ev)
+	}
 	return ev
 }
 
@@ -273,7 +281,9 @@ func (e *Engine) AfterEvent(d Time, a Actor, kind uint8, arg uint64) EventID {
 // fired or already cancelled event is a no-op. Returns whether the event was
 // pending.
 func (e *Engine) Cancel(id EventID) bool {
-	if id.ev == nil || id.ev.gen != id.gen || id.ev.cancelled || id.ev.index < 0 {
+	// index == idxPopped means fired/drained; wheel-resident events carry
+	// idxWheel and are still cancellable.
+	if id.ev == nil || id.ev.gen != id.gen || id.ev.cancelled || id.ev.index == idxPopped {
 		return false
 	}
 	id.ev.cancelled = true
@@ -287,6 +297,9 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step executes the single next event. It returns false when the queue is
 // empty or the engine is stopped.
 func (e *Engine) Step() bool {
+	if e.wheel != nil {
+		panic("sim: Step is not supported in wheel mode; use Run")
+	}
 	for len(e.queue) > 0 {
 		ev := e.heapPop()
 		if ev.cancelled {
@@ -336,6 +349,9 @@ func (e *Engine) recycle(ev *event) {
 // passes horizon (exclusive). Events scheduled at exactly horizon do not run.
 // It returns the number of events executed.
 func (e *Engine) Run(horizon Time) uint64 {
+	if e.wheel != nil {
+		return e.runWheel(horizon)
+	}
 	start := e.Processed
 	e.stopped = false
 	for !e.stopped && len(e.queue) > 0 {

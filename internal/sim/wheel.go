@@ -1,0 +1,359 @@
+package sim
+
+import "math/bits"
+
+// Windowed wheel scheduler — the per-shard fast path of the conservative
+// parallel engine.
+//
+// A sharded simulation executes in bounded time windows (width = the
+// cross-shard lookahead), so a shard's scheduler never needs a totally
+// ordered queue over an unbounded horizon: it needs exact ordering inside
+// the near future and anything-goes storage for far-out events. The wheel
+// exploits that: events within the next wheelSpan nanoseconds go into a
+// ring of coarse slots (wheelSlotWidth ns each), kept (time, seq)-sorted
+// by a from-the-tail insertion that almost always degenerates to a plain
+// append, and the rare far events (packet-tail serialization beyond the
+// span, watchdogs, injection-window ends) overflow into the engine's
+// existing binary heap and migrate into the ring as the cursor approaches
+// them. The ring is deliberately small — wheelSlots slice headers fit in
+// L1/L2 — because the previous per-nanosecond design spent more on cache
+// misses over its 8192-slot ring than it saved in comparisons.
+//
+// Ordering is identical to heap mode: every slot is (time, seq)-sorted,
+// the sequence counter is monotonic, and the drain cursor fires events in
+// exactly (time, seq) order — the property TestWheelMatchesHeap pins.
+// The serial engine keeps the heap as its only mode; the wheel is enabled
+// per shard by the shard group, where the windowed run pattern makes it
+// strictly better.
+
+const (
+	// wheelSlotShift sets the slot width: 16 ns buckets batch the typical
+	// event spacing of a saturated run (a few tens of ns) into one or two
+	// entries per slot, so the sorted insert is almost always an append.
+	wheelSlotShift = 4
+	// wheelSlots is the ring length in slots. Must be a power of two.
+	wheelSlots = 512
+	// wheelSpan is the ring horizon in nanoseconds. It comfortably covers
+	// the default hot path: a 1024 B packet serializes in ~4096 ns, so
+	// port free events — the furthest-out frequent event — stay in-ring.
+	wheelSpan = wheelSlots << wheelSlotShift
+
+	// Sentinel values for event.index (heap index when >= 0).
+	idxPopped = -1 // fired or drained; not pending
+	idxWheel  = -2 // pending in a wheel slot
+)
+
+// wheel is the ring half of the windowed scheduler. The far half reuses
+// Engine.queue (the binary heap).
+type wheel struct {
+	// base is the drain cursor: every event at a time < base has fired;
+	// every pending event within wheelSlots slots of base is in its slot,
+	// later ones are in the far heap.
+	base Time
+	// curSlot/curIdx mark the slot being drained and the first index not
+	// yet fired. Entries below curIdx have been recycled (their records
+	// may already live a new life), so the sorted insert must never
+	// compare against them; curIdx is that floor. curSlot is -1 outside
+	// the drain loop.
+	curSlot int
+	curIdx  int
+	slots   [wheelSlots][]*event
+	// occ is the slot-occupancy bitmap (one bit per slot, indexed like
+	// slots); it lets the drain loop skip empty regions 64 slots at a time.
+	occ [wheelSlots / 64]uint64
+}
+
+// EnableWheel switches the engine's scheduler into windowed-wheel mode.
+// It must be called before any event is scheduled.
+func (e *Engine) EnableWheel() {
+	if len(e.queue) > 0 || e.seq != 0 {
+		panic("sim: EnableWheel on a used engine")
+	}
+	e.wheel = &wheel{curSlot: -1}
+}
+
+// WheelEnabled reports whether the engine runs the windowed-wheel
+// scheduler.
+func (e *Engine) WheelEnabled() bool { return e.wheel != nil }
+
+// slotFor maps an absolute time to its ring slot.
+func slotFor(at Time) int { return int(at>>wheelSlotShift) & (wheelSlots - 1) }
+
+// slotInsert files ev into its (time, seq)-sorted position within its ring
+// slot. Scheduling runs forward in time, so the scan from the tail is an
+// append in the common case.
+func (e *Engine) slotInsert(ev *event) {
+	w := e.wheel
+	s := slotFor(ev.at)
+	q := w.slots[s]
+	i := len(q)
+	floor := 0
+	if s == w.curSlot {
+		floor = w.curIdx
+	}
+	for i > floor && eventLess(ev, q[i-1]) {
+		i--
+	}
+	q = append(q, nil)
+	copy(q[i+1:], q[i:])
+	q[i] = ev
+	w.slots[s] = q
+	w.occ[s>>6] |= 1 << uint(s&63)
+	ev.index = idxWheel
+}
+
+// wheelPush files ev into its ring slot or the far heap.
+func (e *Engine) wheelPush(ev *event) {
+	w := e.wheel
+	d := (ev.at >> wheelSlotShift) - (w.base >> wheelSlotShift)
+	if d < 0 {
+		// A negative slot distance would alias into a slot the cursor has
+		// already passed and silently fire one ring revolution late.
+		panic("sim: wheel push behind the drain cursor")
+	}
+	if d < wheelSlots {
+		e.slotInsert(ev)
+		if e.pending > e.peakQueue {
+			// In wheel mode peakQueue tracks the pending high-water mark —
+			// the same freelist-sizing role it plays in heap mode.
+			e.peakQueue = e.pending
+		}
+		return
+	}
+	e.heapPush(ev)
+}
+
+// migrateFar moves far-heap events whose slot has entered the ring span
+// into their sorted slot positions. Called whenever base advances.
+func (e *Engine) migrateFar() {
+	w := e.wheel
+	baseSlot := w.base >> wheelSlotShift
+	for len(e.queue) > 0 && (e.queue[0].at>>wheelSlotShift)-baseSlot < wheelSlots {
+		ev := e.heapPop()
+		if ev.cancelled {
+			e.recycle(ev)
+			continue
+		}
+		e.slotInsert(ev)
+	}
+}
+
+// NextEventTime returns the timestamp of the earliest pending event, or
+// Infinity if nothing is pending. The shard group uses it at barriers to
+// fast-forward across globally idle spans.
+func (e *Engine) NextEventTime() Time {
+	if e.wheel != nil {
+		return e.wheelNext()
+	}
+	for len(e.queue) > 0 {
+		if top := e.queue[0]; top.cancelled {
+			e.recycle(e.heapPop())
+		} else {
+			return top.at
+		}
+	}
+	return Infinity
+}
+
+// wheelNext returns the time of the earliest pending event at or after
+// base, or Infinity. It prunes fully cancelled slots as it scans.
+func (e *Engine) wheelNext() Time {
+	w := e.wheel
+	if e.pending == 0 {
+		// Only cancelled far events may remain; drop them.
+		for len(e.queue) > 0 {
+			e.recycle(e.heapPop())
+		}
+		return Infinity
+	}
+	baseSlot := w.base >> wheelSlotShift
+	for ds := Time(0); ds < wheelSlots; {
+		s := int(baseSlot+ds) & (wheelSlots - 1)
+		b := w.occ[s>>6] >> uint(s&63)
+		if b == 0 {
+			ds += Time(64 - s&63)
+			continue
+		}
+		ds += Time(bits.TrailingZeros64(b))
+		if ds >= wheelSlots {
+			break
+		}
+		if at, ok := e.slotFirst(int(baseSlot+ds) & (wheelSlots - 1)); ok {
+			return at
+		}
+		ds++
+	}
+	for len(e.queue) > 0 {
+		if top := e.queue[0]; top.cancelled {
+			e.recycle(e.heapPop())
+		} else {
+			return top.at
+		}
+	}
+	return Infinity
+}
+
+// slotFirst returns the time of slot s's earliest live event (the first
+// non-cancelled entry — slots are sorted), clearing the slot and its bit
+// when everything in it was cancelled.
+func (e *Engine) slotFirst(s int) (Time, bool) {
+	w := e.wheel
+	q := w.slots[s]
+	for _, ev := range q {
+		if !ev.cancelled {
+			return ev.at, true
+		}
+	}
+	for _, ev := range q {
+		ev.index = idxPopped
+		e.recycle(ev)
+	}
+	w.slots[s] = q[:0]
+	w.occ[s>>6] &^= 1 << uint(s&63)
+	return 0, false
+}
+
+// AdvanceTo moves the clock (and in wheel mode the drain cursor) forward
+// to at. It is the shard group's window-alignment hook: the caller
+// guarantees no pending event lies before at.
+func (e *Engine) AdvanceTo(at Time) {
+	if at <= e.now {
+		return
+	}
+	e.now = at
+	if w := e.wheel; w != nil && at > w.base {
+		w.base = at
+		e.migrateFar()
+	}
+}
+
+// runWheel executes events with time < horizon in (time, seq) order,
+// returning when the horizon is reached, the engine stops, or nothing is
+// pending below the horizon.
+func (e *Engine) runWheel(horizon Time) uint64 {
+	start := e.Processed
+	w := e.wheel
+	e.stopped = false
+	for {
+		if e.pending == 0 {
+			if horizon != Infinity && w.base < horizon {
+				w.base = horizon
+				if e.now < horizon {
+					e.now = horizon
+				}
+			}
+			break
+		}
+		if w.base >= horizon {
+			break
+		}
+		s := slotFor(w.base)
+		if w.occ[s>>6]&(1<<uint(s&63)) == 0 {
+			// Empty slot: hop over the whole empty region via the bitmap.
+			e.hopEmpty(horizon)
+			continue
+		}
+		// Drain the slot in (time, seq) order. Handlers may insert
+		// same-window events into this very slot mid-drain; re-reading the
+		// slice header each iteration picks them up in sorted position
+		// (slotInsert's curIdx floor keeps them past the fired prefix).
+		w.curSlot = s
+		i := 0
+		halted := false
+		for i < len(w.slots[s]) {
+			ev := w.slots[s][i]
+			if ev.cancelled {
+				i++
+				w.curIdx = i
+				ev.index = idxPopped
+				e.recycle(ev)
+				continue
+			}
+			if ev.at >= horizon {
+				halted = true
+				break
+			}
+			i++
+			w.curIdx = i
+			e.now = ev.at
+			e.Processed++
+			e.pending--
+			ev.index = idxPopped
+			if a := ev.actor; a != nil {
+				kind, arg := ev.kind, ev.arg
+				e.recycle(ev)
+				a.HandleEvent(e, kind, arg)
+			} else {
+				fn := ev.fn
+				e.recycle(ev)
+				fn(e)
+			}
+			if e.stopped {
+				halted = true
+				break
+			}
+		}
+		w.curSlot = -1
+		if halted {
+			// Preserve the un-run suffix of the slot in place.
+			rest := w.slots[s][i:]
+			n := copy(w.slots[s], rest)
+			w.slots[s] = w.slots[s][:n]
+			if n == 0 {
+				w.occ[s>>6] &^= 1 << uint(s&63)
+			}
+			if e.stopped {
+				return e.Processed - start
+			}
+			// Horizon reached mid-slot: everything below it has fired, the
+			// suffix is at or after it, so the cursor lands exactly there.
+			if w.base < horizon {
+				w.base = horizon
+			}
+			break
+		}
+		w.slots[s] = w.slots[s][:0]
+		w.occ[s>>6] &^= 1 << uint(s&63)
+		w.base = ((w.base >> wheelSlotShift) + 1) << wheelSlotShift
+		if w.base > horizon {
+			// Never overshoot the window end: the next window delivers
+			// cross-shard events at times in [horizon, slot end), which must
+			// stay ahead of the cursor.
+			w.base = horizon
+		}
+		if len(e.queue) > 0 {
+			e.migrateFar()
+		}
+	}
+	return e.Processed - start
+}
+
+// hopEmpty advances base across a run of empty slots, bounded by horizon
+// and the ring span, migrating far events when new span opens up.
+func (e *Engine) hopEmpty(horizon Time) {
+	w := e.wheel
+	limit := ((w.base >> wheelSlotShift) + wheelSlots) << wheelSlotShift
+	if horizon < limit {
+		limit = horizon
+	}
+	at := w.base
+	for at < limit {
+		s := slotFor(at)
+		b := w.occ[s>>6] >> uint(s&63)
+		if b != 0 {
+			if off := Time(bits.TrailingZeros64(b)); off > 0 {
+				at = ((at >> wheelSlotShift) + off) << wheelSlotShift
+			}
+			break
+		}
+		at = ((at >> wheelSlotShift) + Time(64-s&63)) << wheelSlotShift
+	}
+	if at > limit {
+		at = limit
+	}
+	w.base = at
+	if e.now < at {
+		e.now = at
+	}
+	e.migrateFar()
+}

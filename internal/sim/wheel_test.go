@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// storm drives an engine through a randomized self-rescheduling event
+// storm and records the exact firing order. The workload mixes near and
+// far delays (exercising ring slots and the overflow heap), same-time
+// bursts (exercising FIFO tie-break), closure events, and cancellations.
+type stormActor struct {
+	id    int
+	rng   *RNG
+	log   *[]string
+	depth int
+	held  EventID
+}
+
+func (s *stormActor) HandleEvent(e *Engine, kind uint8, arg uint64) {
+	*s.log = append(*s.log, fmt.Sprintf("%d@%d k%d a%d", s.id, e.Now(), kind, arg))
+	if s.depth <= 0 {
+		return
+	}
+	s.depth--
+	// Near events: land within the wheel span.
+	for i := 0; i < 2; i++ {
+		d := Time(s.rng.Intn(500))
+		e.AfterEvent(d, s, uint8(i), arg+1)
+	}
+	// Same-time burst: exercises intra-slot FIFO order.
+	if s.rng.Intn(4) == 0 {
+		e.AfterEvent(0, s, 7, arg)
+	}
+	// Far event: beyond the wheel span, must overflow to the heap and
+	// migrate back in order.
+	if s.rng.Intn(3) == 0 {
+		e.AfterEvent(Time(9000+s.rng.Intn(40000)), s, 9, arg)
+	}
+	// Cancellation churn: arm an event and cancel it half the time.
+	if s.held.Valid() && s.rng.Intn(2) == 0 {
+		e.Cancel(s.held)
+		s.held = EventID{}
+	} else {
+		s.held = e.AfterEvent(Time(s.rng.Intn(2000)), s, 8, arg)
+	}
+	// Closure events interleave with typed ones.
+	if s.rng.Intn(5) == 0 {
+		at := e.Now() + Time(s.rng.Intn(300))
+		id := s.id
+		e.Schedule(at, func(e *Engine) {
+			*s.log = append(*s.log, fmt.Sprintf("fn%d@%d", id, e.Now()))
+		})
+	}
+}
+
+func runStorm(t *testing.T, wheelMode bool, seed uint64) []string {
+	t.Helper()
+	e := NewEngine()
+	if wheelMode {
+		e.EnableWheel()
+	}
+	var log []string
+	actors := make([]*stormActor, 8)
+	for i := range actors {
+		actors[i] = &stormActor{id: i, rng: NewRNG(seed + uint64(i)), log: &log, depth: 40}
+		e.ScheduleEvent(Time(i*13), actors[i], 0, 0)
+	}
+	if wheelMode {
+		e.runWheel(Infinity)
+	} else {
+		e.Run(Infinity)
+	}
+	return log
+}
+
+// TestWheelMatchesHeap pins that the windowed-wheel scheduler fires
+// events in exactly the heap's (time, seq) order, including same-time
+// bursts, far-heap migration, and cancellations.
+func TestWheelMatchesHeap(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		heapLog := runStorm(t, false, seed)
+		wheelLog := runStorm(t, true, seed)
+		if len(heapLog) != len(wheelLog) {
+			t.Fatalf("seed %d: heap fired %d events, wheel fired %d", seed, len(heapLog), len(wheelLog))
+		}
+		for i := range heapLog {
+			if heapLog[i] != wheelLog[i] {
+				t.Fatalf("seed %d: divergence at event %d: heap %q, wheel %q", seed, i, heapLog[i], wheelLog[i])
+			}
+		}
+		if len(heapLog) < 100 {
+			t.Fatalf("seed %d: storm too small to be meaningful (%d events)", seed, len(heapLog))
+		}
+	}
+}
+
+// TestWheelHorizon pins Run's exclusive-horizon semantics in wheel mode.
+func TestWheelHorizon(t *testing.T) {
+	e := NewEngine()
+	e.EnableWheel()
+	var fired []Time
+	for _, at := range []Time{5, 99, 100, 101, 20000} {
+		at := at
+		e.Schedule(at, func(e *Engine) { fired = append(fired, e.Now()) })
+	}
+	e.Run(100)
+	if len(fired) != 2 || fired[0] != 5 || fired[1] != 99 {
+		t.Fatalf("Run(100) fired %v, want [5 99]", fired)
+	}
+	if e.Len() != 3 {
+		t.Fatalf("pending after Run(100) = %d, want 3", e.Len())
+	}
+	e.Run(Infinity)
+	if len(fired) != 5 || fired[4] != 20000 {
+		t.Fatalf("drain fired %v", fired)
+	}
+}
+
+// TestWheelAdvanceTo pins cursor jumps across idle spans, including far
+// events becoming near after a jump.
+func TestWheelAdvanceTo(t *testing.T) {
+	e := NewEngine()
+	e.EnableWheel()
+	var fired []Time
+	e.Schedule(1_000_000, func(e *Engine) { fired = append(fired, e.Now()) })
+	e.Run(10) // nothing below 10
+	if len(fired) != 0 {
+		t.Fatalf("early fire: %v", fired)
+	}
+	e.AdvanceTo(999_999)
+	if got := e.NextEventTime(); got != 1_000_000 {
+		t.Fatalf("NextEventTime after jump = %v", got)
+	}
+	e.Run(Infinity)
+	if len(fired) != 1 || fired[0] != 1_000_000 {
+		t.Fatalf("fired %v, want [1000000]", fired)
+	}
+	if e.Now() != 1_000_000 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+// TestWheelCancel pins that wheel-resident and far-heap events are both
+// cancellable and that cancelled records do not fire after slot reuse.
+func TestWheelCancel(t *testing.T) {
+	e := NewEngine()
+	e.EnableWheel()
+	fired := 0
+	count := func(e *Engine) { fired++ }
+	near := e.Schedule(50, count)
+	far := e.Schedule(50_000, count)
+	e.Schedule(60, count)
+	if !e.Cancel(near) {
+		t.Fatal("near cancel failed")
+	}
+	if !e.Cancel(far) {
+		t.Fatal("far cancel failed")
+	}
+	if e.Cancel(near) {
+		t.Fatal("double cancel succeeded")
+	}
+	e.Run(Infinity)
+	if fired != 1 {
+		t.Fatalf("fired %d events, want 1", fired)
+	}
+	if e.Len() != 0 {
+		t.Fatalf("pending = %d", e.Len())
+	}
+}

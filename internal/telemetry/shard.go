@@ -1,0 +1,56 @@
+package telemetry
+
+// Sharded tracing. The Tracer is deliberately not safe for concurrent
+// use, and the parallel engine does not make it so: each shard records
+// into its own forked tracer (single-writer, no synchronization on the
+// hot path), and the runner absorbs the shard buffers into the parent at
+// the end of the run with a deterministic k-way merge. Per-shard buffers
+// are time-ordered (simulation time is monotonic within a shard, and
+// barrier-task emissions happen at window starts, which never precede
+// prior shard events), so the merge yields a globally time-sorted trace;
+// ties break by shard index then emission order — independent of
+// GOMAXPROCS and stable across runs.
+
+// Fork returns a shard-local tracer inheriting the parent's sampling
+// divisor and current run scope, with an empty buffer. Nil-safe: forking
+// a nil tracer yields nil, keeping disabled telemetry free in sharded
+// mode too.
+func (t *Tracer) Fork() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{sample: t.sample, run: t.run}
+}
+
+// Absorb merges the shard tracers' buffers into t ordered by event time
+// (ties: slice position, then emission order) and clears them. Calling it
+// after every execution slice is safe: simulation time only moves
+// forward, so successive absorptions append in global time order.
+func (t *Tracer) Absorb(shards []*Tracer) {
+	if t == nil {
+		return
+	}
+	idx := make([]int, len(shards))
+	for {
+		best := -1
+		var bestAt int64
+		for s, tr := range shards {
+			if tr == nil || idx[s] >= len(tr.events) {
+				continue
+			}
+			if at := tr.events[idx[s]].At; best < 0 || at < bestAt {
+				best, bestAt = s, at
+			}
+		}
+		if best < 0 {
+			break
+		}
+		t.events = append(t.events, shards[best].events[idx[best]])
+		idx[best]++
+	}
+	for _, tr := range shards {
+		if tr != nil {
+			tr.events = tr.events[:0]
+		}
+	}
+}

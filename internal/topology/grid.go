@@ -20,8 +20,6 @@ type Grid struct {
 
 	stride []int // stride[d] = product of Dims[:d]
 	size   int
-	// onePort backs MinimalPorts' answers (shared, valid until next call).
-	onePort [1]int
 }
 
 // NewGrid builds an n-dimensional mesh (wrap=false) or torus (wrap=true).
@@ -201,14 +199,12 @@ func (g *Grid) NextHop(r RouterID, dst NodeID) int {
 // MinimalPorts implements Topology: dimension-ordered, single productive
 // port (see Mesh.MinimalPorts for why free dimension interleaving is not
 // offered under this VC scheme).
-func (g *Grid) MinimalPorts(r RouterID, dst NodeID) []int {
+func (g *Grid) MinimalPorts(r RouterID, dst NodeID, buf []int) []int {
 	tr, tp := g.TerminalAttach(dst)
 	if r == tr {
-		g.onePort[0] = tp
-	} else {
-		g.onePort[0] = g.NextHopToRouter(r, tr)
+		return append(buf[:0], tp)
 	}
-	return g.onePort[:]
+	return append(buf[:0], g.NextHopToRouter(r, tr))
 }
 
 // AlternativePaths implements Topology: two-waypoint MSPs through routers

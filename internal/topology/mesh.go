@@ -23,9 +23,6 @@ const (
 type Mesh struct {
 	W, H int
 	Wrap bool
-	// onePort backs MinimalPorts' single-port answers (see the MinimalPorts
-	// contract in Topology: shared, valid until the next call).
-	onePort [1]int
 }
 
 // NewMesh returns a W x H mesh. It panics on non-positive dimensions.
@@ -186,24 +183,23 @@ func (m *Mesh) NextHop(r RouterID, dst NodeID) int {
 // structurally safe. Within a dimension there is exactly one minimal
 // direction, so mesh adaptivity degenerates to the deterministic route —
 // path diversity on meshes comes from DRB's multistep paths instead.
-func (m *Mesh) MinimalPorts(r RouterID, dst NodeID) []int {
+func (m *Mesh) MinimalPorts(r RouterID, dst NodeID, buf []int) []int {
 	tr, tp := m.TerminalAttach(dst)
-	if r == tr {
-		m.onePort[0] = tp
-	} else {
+	port := tp
+	if r != tr {
 		dx, dy := m.deltas(r, tr)
 		switch {
 		case dx > 0:
-			m.onePort[0] = meshEast
+			port = meshEast
 		case dx < 0:
-			m.onePort[0] = meshWest
+			port = meshWest
 		case dy > 0:
-			m.onePort[0] = meshNorth
+			port = meshNorth
 		default:
-			m.onePort[0] = meshSouth
+			port = meshSouth
 		}
 	}
-	return m.onePort[:]
+	return append(buf[:0], port)
 }
 
 // AlternativePaths implements Topology. Candidate MSPs use two waypoint

@@ -1,0 +1,179 @@
+package topology
+
+import "fmt"
+
+// Partitioning for the sharded parallel engine.
+//
+// Partition splits the router set into `shards` balanced, preferably
+// contiguous regions. Terminals are not assigned here: a terminal always
+// lives on its attach router's shard, so every cross-shard edge is a
+// router-router link — which is what gives the parallel engine a
+// non-degenerate lookahead (router links carry at least the link+routing
+// latency, while terminal injection is local).
+//
+// The algorithm is deterministic: seeded BFS growth (lowest unassigned
+// router ID seeds each region, neighbors explored in port order) followed
+// by a bounded greedy refinement that moves boundary routers between
+// adjacent shards when that strictly reduces the edge cut without
+// unbalancing the regions. Determinism matters more than cut optimality:
+// the assignment is part of the simulation's reproducible configuration.
+
+// Partition returns a router-to-shard assignment of length NumRouters().
+// Shard sizes differ by at most one router. shards must be in
+// [1, NumRouters()].
+func Partition(t Topology, shards int) ([]int, error) {
+	n := t.NumRouters()
+	if shards < 1 {
+		return nil, fmt.Errorf("topology: shard count %d < 1", shards)
+	}
+	if shards > n {
+		return nil, fmt.Errorf("topology: shard count %d exceeds %d routers", shards, n)
+	}
+	assign := make([]int, n)
+	if shards == 1 {
+		return assign, nil
+	}
+
+	adj := routerAdjacency(t)
+
+	// Target sizes: the first (n mod shards) regions get one extra router.
+	target := make([]int, shards)
+	for s := range target {
+		target[s] = n / shards
+		if s < n%shards {
+			target[s]++
+		}
+	}
+
+	for i := range assign {
+		assign[i] = -1
+	}
+	next := 0 // lowest candidate seed
+	for s := 0; s < shards; s++ {
+		for next < n && assign[next] >= 0 {
+			next++
+		}
+		if next >= n {
+			break
+		}
+		grown := bfsGrow(adj, assign, next, s, target[s])
+		// Disconnected remainder (can't happen for the built-in shapes,
+		// but keep the contract total): top up from the lowest unassigned.
+		for grown < target[s] {
+			seed := -1
+			for i := next; i < n; i++ {
+				if assign[i] < 0 {
+					seed = i
+					break
+				}
+			}
+			if seed < 0 {
+				break
+			}
+			grown += bfsGrow(adj, assign, seed, s, target[s]-grown)
+		}
+	}
+
+	refine(adj, assign, target, shards)
+	return assign, nil
+}
+
+// routerAdjacency builds the router-router neighbor lists in port order,
+// one entry per wired inter-router port (parallel links repeat).
+func routerAdjacency(t Topology) [][]RouterID {
+	n := t.NumRouters()
+	adj := make([][]RouterID, n)
+	for r := RouterID(0); int(r) < n; r++ {
+		for p := 0; p < t.Radix(r); p++ {
+			peer := t.PortPeer(r, p)
+			if peer.IsRouter() && !peer.Unwired() {
+				adj[r] = append(adj[r], peer.Router)
+			}
+		}
+	}
+	return adj
+}
+
+// bfsGrow assigns up to want unassigned routers reachable from seed to
+// shard s, in BFS (then ID) order. Returns the number assigned.
+func bfsGrow(adj [][]RouterID, assign []int, seed, s, want int) int {
+	if want <= 0 || assign[seed] >= 0 {
+		return 0
+	}
+	queue := []RouterID{RouterID(seed)}
+	assign[seed] = s
+	got := 1
+	for len(queue) > 0 && got < want {
+		r := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj[r] {
+			if assign[nb] < 0 {
+				assign[nb] = s
+				queue = append(queue, nb)
+				got++
+				if got >= want {
+					break
+				}
+			}
+		}
+	}
+	return got
+}
+
+// refine performs bounded greedy boundary moves: shift a router to a
+// neighboring shard when that strictly reduces its local cut degree and
+// both regions stay within one router of their target size.
+func refine(adj [][]RouterID, assign []int, target []int, shards int) {
+	size := make([]int, shards)
+	for _, s := range assign {
+		size[s]++
+	}
+	degree := make([]int, shards)
+	for pass := 0; pass < 4; pass++ {
+		moved := false
+		for r := range assign {
+			cur := assign[r]
+			for s := range degree {
+				degree[s] = 0
+			}
+			for _, nb := range adj[r] {
+				degree[assign[nb]]++
+			}
+			best, bestDeg := cur, degree[cur]
+			for s := 0; s < shards; s++ {
+				if s == cur || degree[s] <= bestDeg {
+					continue
+				}
+				if size[s]+1 > target[s]+1 || size[cur]-1 < target[cur]-1 {
+					continue
+				}
+				best, bestDeg = s, degree[s]
+			}
+			if best != cur {
+				assign[r] = best
+				size[cur]--
+				size[best]++
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+}
+
+// CutEdges counts inter-router links whose endpoints land on different
+// shards (each physical duplex link counted once).
+func CutEdges(t Topology, assign []int) int {
+	cut := 0
+	for r := RouterID(0); int(r) < t.NumRouters(); r++ {
+		for p := 0; p < t.Radix(r); p++ {
+			peer := t.PortPeer(r, p)
+			if peer.IsRouter() && !peer.Unwired() && peer.Router > r &&
+				assign[r] != assign[peer.Router] {
+				cut++
+			}
+		}
+	}
+	return cut
+}

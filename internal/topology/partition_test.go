@@ -1,0 +1,116 @@
+package topology
+
+import "testing"
+
+func partitionShapes(t *testing.T) []Topology {
+	t.Helper()
+	return []Topology{
+		NewMesh(4, 4),
+		NewMesh(8, 8),
+		NewTorus(4, 4),
+		NewKAryNTree(4, 3),
+	}
+}
+
+// TestPartitionBalanced pins total assignment, shard-size balance, and
+// in-range shard indices for every built-in shape and shard count.
+func TestPartitionBalanced(t *testing.T) {
+	for _, topo := range partitionShapes(t) {
+		for _, shards := range []int{1, 2, 3, 4, 8} {
+			if shards > topo.NumRouters() {
+				continue
+			}
+			assign, err := Partition(topo, shards)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", topo.Name(), shards, err)
+			}
+			if len(assign) != topo.NumRouters() {
+				t.Fatalf("%s/%d: len %d", topo.Name(), shards, len(assign))
+			}
+			size := make([]int, shards)
+			for r, s := range assign {
+				if s < 0 || s >= shards {
+					t.Fatalf("%s/%d: router %d assigned out-of-range shard %d", topo.Name(), shards, r, s)
+				}
+				size[s]++
+			}
+			minSz, maxSz := size[0], size[0]
+			for _, sz := range size[1:] {
+				if sz < minSz {
+					minSz = sz
+				}
+				if sz > maxSz {
+					maxSz = sz
+				}
+			}
+			// BFS growth targets ±0; refinement may shift by one more.
+			if maxSz-minSz > 2 {
+				t.Fatalf("%s/%d: unbalanced sizes %v", topo.Name(), shards, size)
+			}
+			if minSz == 0 {
+				t.Fatalf("%s/%d: empty shard: %v", topo.Name(), shards, size)
+			}
+		}
+	}
+}
+
+// TestPartitionDeterministic pins that repeated calls produce identical
+// assignments — the assignment is part of the reproducible configuration.
+func TestPartitionDeterministic(t *testing.T) {
+	for _, topo := range partitionShapes(t) {
+		a, err := Partition(topo, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Partition(topo, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: nondeterministic assignment at router %d", topo.Name(), i)
+			}
+		}
+	}
+}
+
+// TestPartitionCutBeatsRoundRobin pins that BFS growth + refinement cuts
+// fewer links than naive round-robin striping on the locality-friendly
+// shapes (mesh/torus). Round-robin is the worst case for contiguity, so
+// this is a weak but meaningful lower bar for "min-cut-ish".
+func TestPartitionCutBeatsRoundRobin(t *testing.T) {
+	for _, topo := range []Topology{NewMesh(8, 8), NewTorus(8, 8)} {
+		assign, err := Partition(topo, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr := make([]int, topo.NumRouters())
+		for i := range rr {
+			rr[i] = i % 4
+		}
+		got, naive := CutEdges(topo, assign), CutEdges(topo, rr)
+		if got >= naive {
+			t.Fatalf("%s: cut %d not better than round-robin %d", topo.Name(), got, naive)
+		}
+	}
+}
+
+// TestPartitionErrors pins the contract violations.
+func TestPartitionErrors(t *testing.T) {
+	topo := NewMesh(2, 2)
+	if _, err := Partition(topo, 0); err == nil {
+		t.Fatal("shards=0 accepted")
+	}
+	if _, err := Partition(topo, topo.NumRouters()+1); err == nil {
+		t.Fatal("shards>routers accepted")
+	}
+	assign, err := Partition(topo, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range assign {
+		if s != 0 {
+			t.Fatal("shards=1 must assign everything to shard 0")
+		}
+	}
+}

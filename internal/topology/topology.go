@@ -84,10 +84,14 @@ type Topology interface {
 	NextHop(r RouterID, dst NodeID) int
 	// MinimalPorts returns every output port at r that lies on a minimal
 	// continuation toward dst. Adaptive policies choose among these.
-	// The returned slice is shared scratch owned by the topology: it is
-	// only valid until the next MinimalPorts call and must not be mutated
-	// (this keeps the per-routing-decision call allocation-free).
-	MinimalPorts(r RouterID, dst NodeID) []int
+	// The answer is appended into buf[:0] (pass a reused caller-owned
+	// buffer to keep the per-routing-decision call allocation-free), or
+	// may alias topology-owned immutable storage; either way it is only
+	// valid until the next call with the same buffer and must not be
+	// mutated. Topologies write no internal scratch here, so concurrent
+	// callers with distinct buffers are safe — the sharded engine routes
+	// in parallel through one shared Topology value.
+	MinimalPorts(r RouterID, dst NodeID, buf []int) []int
 	// NextHopToRouter returns the output port at r on the deterministic
 	// minimal route toward waypoint router target. r == target is invalid.
 	NextHopToRouter(r, target RouterID) int

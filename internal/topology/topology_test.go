@@ -122,7 +122,7 @@ func TestMinimalPortsContainNextHop(t *testing.T) {
 				r, _ := topo.TerminalAttach(NodeID(s))
 				hop := topo.NextHop(r, NodeID(d))
 				found := false
-				for _, p := range topo.MinimalPorts(r, NodeID(d)) {
+				for _, p := range topo.MinimalPorts(r, NodeID(d), nil) {
 					if p == hop {
 						found = true
 					}
@@ -149,7 +149,7 @@ func TestMinimalPortsAreProductive(t *testing.T) {
 				dst := NodeID(d)
 				dr, _ := topo.TerminalAttach(dst)
 				for r := RouterID(0); int(r) < topo.NumRouters(); r++ {
-					for _, p := range topo.MinimalPorts(r, dst) {
+					for _, p := range topo.MinimalPorts(r, dst, nil) {
 						peer := topo.PortPeer(r, p)
 						if peer.IsTerminal() {
 							if peer.Terminal != dst {

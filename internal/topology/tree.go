@@ -26,12 +26,12 @@ type KAryNTree struct {
 	switches int       // per level: K^(N-1)
 	terms    int       // K^N
 	dist     [][]int16 // all-pairs router distances, BFS-precomputed
-	// upPorts is the shared all-up-ports answer of MinimalPorts (identical
-	// for every below-ancestor query); onePort backs its single-port answers.
-	// Both make the per-routing-decision call allocation-free; see the
-	// MinimalPorts contract in Topology.
+	// upPorts is the precomputed all-up-ports answer of MinimalPorts
+	// (identical for every below-ancestor query). It is written once at
+	// construction and read-only afterwards, so returning it from
+	// concurrent routing decisions is safe; see the MinimalPorts contract
+	// in Topology.
 	upPorts []int
-	onePort [1]int
 }
 
 // NewKAryNTree builds a k-ary n-tree. It panics unless k >= 2 and n >= 2.
@@ -224,10 +224,9 @@ func (t *KAryNTree) NextHop(r RouterID, dst NodeID) int {
 // MinimalPorts implements Topology: when below the needed ancestor level,
 // every up port continues a minimal path; once an ancestor, only the unique
 // down port does.
-func (t *KAryNTree) MinimalPorts(r RouterID, dst NodeID) []int {
+func (t *KAryNTree) MinimalPorts(r RouterID, dst NodeID, buf []int) []int {
 	if t.IsAncestor(r, dst) {
-		t.onePort[0] = t.downPort(r, dst)
-		return t.onePort[:]
+		return append(buf[:0], t.downPort(r, dst))
 	}
 	return t.upPorts
 }

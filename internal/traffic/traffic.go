@@ -223,7 +223,10 @@ func Install(net *network.Network, spec Spec, rng *sim.RNG) {
 			}
 			e.After(next, tick)
 		}
-		net.Eng.Schedule(first, tick)
+		// Each source schedules on its own node's engine: in sharded runs the
+		// ticks stay shard-local (injection schedules depend only on the node
+		// id, never on the shard layout).
+		net.EngineForNode(node).Schedule(first, tick)
 	}
 }
 

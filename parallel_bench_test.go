@@ -1,0 +1,43 @@
+package prdrb
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchShardedOnce drives the BenchmarkHotPath scenario (saturated 64-node
+// fat-tree, uniform traffic, minimal-adaptive routing) at the given shard
+// count and returns events processed and packets delivered.
+func benchShardedOnce(b *testing.B, shards int, seed uint64) (events, pkts uint64) {
+	s := MustNewSim(Experiment{Topology: FatTree(4, 3), Policy: PolicyAdaptive, Seed: seed, Shards: shards})
+	if err := s.InstallPattern(PatternSpec{Pattern: "uniform", RateMbps: 800, Start: 0, End: Millisecond}); err != nil {
+		b.Fatal(err)
+	}
+	s.Execute(2 * Second)
+	for _, sh := range s.Net.Shards {
+		events += sh.Eng.Processed
+	}
+	return events, uint64(s.Collector.Throughput.AcceptedPkts)
+}
+
+// BenchmarkParallelShards measures the conservative-parallel engine on the
+// BenchmarkHotPath scenario across shard counts. scripts/bench.sh turns its
+// output into BENCH_parallel.json (the 1/2/4/8-shard scaling curve);
+// shards=1 is the serial reference engine, so the ratio of any sharded
+// events/sec to the shards=1 events/sec is the parallel speedup.
+func BenchmarkParallelShards(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var events, pkts uint64
+			for i := 0; i < b.N; i++ {
+				e, p := benchShardedOnce(b, shards, uint64(i+1))
+				events += e
+				pkts += p
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "events/op")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+			b.ReportMetric(float64(pkts)/b.Elapsed().Seconds(), "pkts/sec")
+		})
+	}
+}

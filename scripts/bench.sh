@@ -1,5 +1,6 @@
 #!/bin/sh
-# bench.sh — run the hot-path benchmark and emit BENCH_hotpath.json.
+# bench.sh — run the simulator benchmarks and emit the committed artifacts
+# BENCH_hotpath.json and BENCH_parallel.json.
 #
 # BenchmarkHotPath drives a saturated 64-node fat-tree (uniform traffic,
 # minimal-adaptive routing) and reports engineering metrics for the
@@ -9,26 +10,45 @@
 # typed-event rework) next to the current numbers so the speedup is
 # auditable from the committed artifact alone.
 #
-# Usage: scripts/bench.sh [benchtime, default 5s]
+# BenchmarkParallelShards runs the same scenario through the conservative
+# parallel engine at 1/2/4/8 shards; the emitted curve records events/sec
+# per shard count plus the 4-shard speedup over the serial reference. The
+# shard goroutines only run concurrently when the host grants more than
+# one CPU, so host_cpus is recorded alongside the curve — on a 1-CPU host
+# the curve isolates the windowed-wheel scheduler gain with zero
+# parallel contribution.
+#
+# Both benchmarks run COUNT times and the artifact keeps the best rep per
+# configuration (max events/sec) — best-of damps scheduler/neighbour noise
+# the same way the CI regression gate does.
+#
+# Usage: scripts/bench.sh [benchtime, default 5s] [count, default 3]
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-5s}"
+COUNT="${2:-3}"
 OUT=BENCH_hotpath.json
+PAROUT=BENCH_parallel.json
 
-echo "==> go test -bench BenchmarkHotPath -benchtime $BENCHTIME"
-RAW=$(go test -run '^$' -bench BenchmarkHotPath -benchtime "$BENCHTIME" -benchmem . | tee /dev/stderr)
+echo "==> go test -bench BenchmarkHotPath -benchtime $BENCHTIME -count $COUNT"
+RAW=$(go test -run '^$' -bench BenchmarkHotPath -benchtime "$BENCHTIME" -count "$COUNT" -benchmem . | tee /dev/stderr)
 
 echo "$RAW" | awk -v benchtime="$BENCHTIME" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^BenchmarkHotPath/ {
     for (i = 1; i <= NF; i++) {
-        if ($i == "events/op")   events_op  = $(i-1)
-        if ($i == "events/sec")  events_sec = $(i-1)
-        if ($i == "ns/event")    ns_event   = $(i-1)
-        if ($i == "pkts/op")     pkts_op    = $(i-1)
-        if ($i == "pkts/sec")    pkts_sec   = $(i-1)
-        if ($i == "allocs/op")   allocs_op  = $(i-1)
+        if ($i == "events/op")   r_events_op  = $(i-1)
+        if ($i == "events/sec")  r_events_sec = $(i-1)
+        if ($i == "ns/event")    r_ns_event   = $(i-1)
+        if ($i == "pkts/op")     r_pkts_op    = $(i-1)
+        if ($i == "pkts/sec")    r_pkts_sec   = $(i-1)
+        if ($i == "allocs/op")   r_allocs_op  = $(i-1)
+    }
+    # Best-of across -count reps: keep the fastest rep.
+    if (r_events_sec + 0 > events_sec + 0) {
+        events_op = r_events_op; events_sec = r_events_sec; ns_event = r_ns_event
+        pkts_op = r_pkts_op; pkts_sec = r_pkts_sec; allocs_op = r_allocs_op
     }
 }
 END {
@@ -60,3 +80,49 @@ END {
 
 echo "==> wrote $OUT"
 cat "$OUT"
+
+HOST_CPUS=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
+echo "==> go test -bench BenchmarkParallelShards -benchtime $BENCHTIME -count $COUNT"
+PARRAW=$(go test -run '^$' -bench BenchmarkParallelShards -benchtime "$BENCHTIME" -count "$COUNT" . | tee /dev/stderr)
+
+echo "$PARRAW" | awk -v benchtime="$BENCHTIME" -v cpus="$HOST_CPUS" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^BenchmarkParallelShards\// {
+    split($1, parts, "=")
+    split(parts[2], tail, "-")
+    shards = tail[1]
+    for (i = 1; i <= NF; i++) {
+        if ($i == "events/sec") r_es = $(i-1)
+        if ($i == "ns/event")   r_ne = $(i-1)
+        if ($i == "events/op")  r_eo = $(i-1)
+        if ($i == "pkts/sec")   r_ps = $(i-1)
+    }
+    # Best-of across -count reps, per shard count.
+    if (r_es + 0 > es[shards] + 0) {
+        es[shards] = r_es; ne[shards] = r_ne; eo[shards] = r_eo; ps[shards] = r_ps
+    }
+    if (!(shards in seen)) { order[++n] = shards; seen[shards] = 1 }
+}
+END {
+    if (n == 0) { print "bench.sh: no BenchmarkParallelShards lines found" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkParallelShards\",\n"
+    printf "  \"scenario\": \"fat-tree 4-ary 3-tree (64 nodes), adaptive policy, uniform 800 Mbps, 1 ms injection + drain\",\n"
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"host_cpus\": %d,\n", cpus
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"note\": \"shards=1 is the serial reference engine (binary heap); shards>=2 run the conservative parallel engine (windowed wheel, one goroutine per shard when GOMAXPROCS>1). With host_cpus=1 the shard goroutines are time-sliced on one core, so the curve shows only the scheduler-algorithm difference; parallel wall-clock scaling requires host_cpus >= shards.\",\n"
+    printf "  \"curve\": [\n"
+    for (i = 1; i <= n; i++) {
+        s = order[i]
+        printf "    {\"shards\": %s, \"events_per_sec\": %.0f, \"ns_per_event\": %s, \"events_per_op\": %.0f, \"pkts_per_sec\": %.0f, \"speedup_vs_serial\": %.3f}%s\n", \
+            s, es[s], ne[s], eo[s], ps[s], es[s] / es[order[1]], (i < n) ? "," : ""
+    }
+    printf "  ],\n"
+    printf "  \"speedup_4x\": %.3f\n", es[4] / es[order[1]]
+    printf "}\n"
+}' > "$PAROUT"
+
+echo "==> wrote $PAROUT"
+cat "$PAROUT"

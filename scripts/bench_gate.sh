@@ -1,0 +1,68 @@
+#!/bin/sh
+# bench_gate.sh — the CI benchmark-regression gate.
+#
+# Runs BenchmarkHotPath for REPS repetitions at a short benchtime, takes
+# the best rep (max events/sec — best-of damps scheduler and neighbour
+# noise on shared runners), and compares it against the committed
+# baseline artifact BENCH_hotpath.json:
+#
+#   - events/sec may not regress more than MAX_REGRESS_PCT (default 20%)
+#   - allocs/event may not increase at all (beyond a 0.002 absolute
+#     epsilon that absorbs amortised slice-growth jitter)
+#
+# The raw `go test -bench` output is written to $BENCH_OUT (default
+# bench_raw.txt) so CI can upload it as an artifact.
+#
+# Usage: scripts/bench_gate.sh [benchtime, default 1s] [reps, default 3]
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-1s}"
+REPS="${2:-3}"
+MAX_REGRESS_PCT="${MAX_REGRESS_PCT:-20}"
+BENCH_OUT="${BENCH_OUT:-bench_raw.txt}"
+BASELINE=BENCH_hotpath.json
+
+[ -f "$BASELINE" ] || { echo "bench_gate: missing $BASELINE" >&2; exit 1; }
+
+# Pull the committed numbers out of the baseline artifact (POSIX tools
+# only — the gate must run anywhere the tests run).
+base_events=$(sed -n 's/.*"events_per_sec": \([0-9.]*\),*/\1/p' "$BASELINE" | sed -n 2p)
+base_allocs=$(sed -n 's/.*"allocs_per_event": \([0-9.]*\),*/\1/p' "$BASELINE" | sed -n 2p)
+[ -n "$base_events" ] && [ -n "$base_allocs" ] || {
+    echo "bench_gate: could not parse baseline from $BASELINE" >&2; exit 1
+}
+
+echo "==> baseline: $base_events events/sec, $base_allocs allocs/event"
+echo "==> go test -bench BenchmarkHotPath -benchtime $BENCHTIME -count $REPS"
+go test -run '^$' -bench BenchmarkHotPath -benchtime "$BENCHTIME" -count "$REPS" \
+    -benchmem . | tee "$BENCH_OUT"
+
+awk -v base_events="$base_events" -v base_allocs="$base_allocs" \
+    -v max_regress="$MAX_REGRESS_PCT" '
+/^BenchmarkHotPath/ {
+    for (i = 1; i <= NF; i++) {
+        if ($i == "events/op")  r_eo = $(i-1)
+        if ($i == "events/sec") r_es = $(i-1)
+        if ($i == "allocs/op")  r_ao = $(i-1)
+    }
+    if (r_es + 0 > es + 0) { es = r_es; eo = r_eo; ao = r_ao }
+}
+END {
+    if (es == "") { print "bench_gate: no BenchmarkHotPath line found" > "/dev/stderr"; exit 1 }
+    allocs = ao / eo
+    floor = base_events * (1 - max_regress / 100)
+    printf "==> best of reps: %.0f events/sec (floor %.0f), %.4f allocs/event (baseline %s)\n", \
+        es, floor, allocs, base_allocs
+    fail = 0
+    if (es + 0 < floor) {
+        printf "bench_gate: FAIL — events/sec regressed >%s%% (%.0f < %.0f)\n", max_regress, es, floor
+        fail = 1
+    }
+    if (allocs > base_allocs + 0.002) {
+        printf "bench_gate: FAIL — allocs/event increased (%.4f > %s)\n", allocs, base_allocs
+        fail = 1
+    }
+    if (fail) exit 1
+    print "==> bench gate OK"
+}' "$BENCH_OUT"

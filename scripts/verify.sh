@@ -32,4 +32,23 @@ go build -o "$teldir/prdrbsim" ./cmd/prdrbsim
 "$teldir/prdrbsim" -validate-trace "$teldir/run.jsonl"
 "$teldir/prdrbsim" -validate-manifest "$teldir/run-manifest.json"
 
+echo "==> parallel smoke (traced -shards=4 vs serial -shards=1)"
+# Same scenario through the serial reference engine and the 4-shard
+# conservative-parallel engine: the sharded trace must be schema-valid
+# and both runs must deliver the exact same packet count (latency may
+# drift a hair — cross-shard credits are pessimistic — but the fabric is
+# lossless here, so delivery totals are part of the equivalence contract).
+serial_out=$("$teldir/prdrbsim" -topology ft-4-3 -policy pr-drb -pattern shuffle \
+    -rate 400 -duration 400us -shards 1)
+shard_out=$("$teldir/prdrbsim" -topology ft-4-3 -policy pr-drb -pattern shuffle \
+    -rate 400 -duration 400us -shards 4 -trace "$teldir/par.jsonl")
+"$teldir/prdrbsim" -validate-trace "$teldir/par.jsonl"
+serial_pkts=$(printf '%s\n' "$serial_out" | sed -n 's/.*pkts=\([0-9]*\).*/\1/p')
+shard_pkts=$(printf '%s\n' "$shard_out" | sed -n 's/.*pkts=\([0-9]*\).*/\1/p')
+[ -n "$serial_pkts" ] && [ "$serial_pkts" = "$shard_pkts" ] || {
+    echo "verify: sharded run delivered $shard_pkts pkts, serial delivered $serial_pkts" >&2
+    exit 1
+}
+echo "    shards=4 delivered $shard_pkts pkts == serial"
+
 echo "==> verify OK"
