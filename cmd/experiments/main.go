@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"prdrb/internal/runner"
+	"prdrb/internal/sim"
 	"prdrb/internal/telemetry"
 )
 
@@ -81,6 +82,8 @@ func main() {
 	manifestOut := flag.String("manifest", "", "write a run manifest (JSON) to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	statusAddr := flag.String("status", "", "serve the live status plane (/metrics, /status, /events) on this address")
+	statusInterval := flag.Duration("status-interval", 100*time.Microsecond, "virtual-time sampling interval for the status plane")
 	flag.Parse()
 	wallStart := time.Now()
 	installInterruptCleanup()
@@ -134,19 +137,36 @@ func main() {
 		defer stop()
 	}
 	var tel *telemetry.Telemetry
-	if *teleOut != "" || *manifestOut != "" {
+	if *teleOut != "" || *manifestOut != "" || *statusAddr != "" {
+		// -status needs the registry too: /metrics serves its snapshot.
 		tel = telemetry.New(telemetry.Options{Trace: *teleOut != "", Sample: *teleSample})
 		// Every simulation built anywhere in the registry picks the bundle
 		// up from the runner default — no per-experiment plumbing.
 		runner.DefaultTelemetry = tel
 	}
+	// The live feed is always on: atomic counters the workers fold progress
+	// into, read by the status server and the stderr progress line.
+	live := &telemetry.LiveStats{}
+	runner.DefaultLive = live
+	if *statusAddr != "" {
+		board := telemetry.NewBoard()
+		runner.DefaultStatus = board
+		runner.DefaultStatusEvery = sim.Time((*statusInterval).Nanoseconds())
+		addr, err := telemetry.ServeStatus(*statusAddr, board, live)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "status: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: status on http://%s/status\n", addr)
+	}
 	workers := *procs
 	if workers < 1 || *outDir == "-" {
 		workers = 1 // stdout output must stay ordered
 	}
-	if tel != nil && tel.Tracer != nil {
-		// The shared tracer's event log is not concurrency-safe, and a
-		// deterministic trace needs a deterministic run-scope order.
+	if tel != nil {
+		// The shared tracer's event log and the shared metrics registry are
+		// not concurrency-safe, and a deterministic trace needs a
+		// deterministic run-scope order.
 		workers = 1
 		serialExec = true
 	}
@@ -192,8 +212,11 @@ func main() {
 		close(jobs)
 	}()
 	failed := 0
+	// Interval state for the live events/sec figure on the progress line.
+	lastWall, lastEvents := wallStart, int64(0)
 	for done := 1; done <= len(selected); done++ {
 		o := <-results
+		live.AddRun()
 		status := "ok"
 		if o.err != nil {
 			status = "FAILED: " + o.err.Error()
@@ -202,8 +225,12 @@ func main() {
 		fmt.Printf("%-12s %-55s %8.2fs  %s\n", o.exp.id, o.exp.title, o.elapsed, status)
 		if remaining := len(selected) - done; remaining > 0 {
 			eta := time.Since(wallStart) / time.Duration(done) * time.Duration(remaining)
-			fmt.Fprintf(os.Stderr, "experiments: %d/%d done (%s), eta ~%s\n",
-				done, len(selected), o.exp.id, eta.Round(time.Second))
+			now, events := time.Now(), live.Events.Load()
+			rate := float64(events-lastEvents) / now.Sub(lastWall).Seconds()
+			lastWall, lastEvents = now, events
+			fmt.Fprintf(os.Stderr, "experiments: %d/%d done (%s), eta ~%s, %.1fM ev/s, vt=%s\n",
+				done, len(selected), o.exp.id, eta.Round(time.Second),
+				rate/1e6, time.Duration(live.VirtualNs.Load()).Round(time.Microsecond))
 		}
 	}
 	if tel != nil {

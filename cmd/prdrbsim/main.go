@@ -27,6 +27,8 @@ import (
 	"time"
 
 	"prdrb"
+	"prdrb/internal/runner"
+	"prdrb/internal/sim"
 	"prdrb/internal/telemetry"
 )
 
@@ -65,6 +67,10 @@ func main() {
 		manifestOut = flag.String("manifest", "", "write a run-manifest JSON (config, seed, code version, metrics) to this file")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+
+		statusAddr     = flag.String("status", "", "serve the live status plane (/metrics, /status, /events) on this address (e.g. localhost:6061 or 127.0.0.1:0)")
+		statusInterval = flag.Duration("status-interval", 100*time.Microsecond, "virtual-time sampling interval for the status plane")
+		statusLinger   = flag.Duration("status-linger", 0, "keep serving the status endpoints this long after the run completes")
 
 		checkTrace    = flag.String("validate-trace", "", "validate a JSONL telemetry trace against its schema and exit")
 		checkManifest = flag.String("validate-manifest", "", "validate a run-manifest file against its schema and exit")
@@ -107,8 +113,22 @@ func main() {
 		}()
 	}
 	var tel *prdrb.Telemetry
-	if *teleOut != "" || *manifestOut != "" {
+	if *teleOut != "" || *manifestOut != "" || *statusAddr != "" {
+		// The status plane's /metrics endpoint needs a registry even when
+		// no trace or manifest was requested.
 		tel = prdrb.NewTelemetry(prdrb.TelemetryOptions{Trace: *teleOut != "", Sample: *teleSample})
+	}
+	if *statusAddr != "" {
+		board := telemetry.NewBoard()
+		live := &telemetry.LiveStats{}
+		runner.DefaultStatus = board
+		runner.DefaultLive = live
+		runner.DefaultStatusEvery = sim.Time((*statusInterval).Nanoseconds())
+		addr, err := telemetry.ServeStatus(*statusAddr, board, live)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "prdrbsim: status on http://%s/status\n", addr)
 	}
 
 	topo, err := parseTopology(*topoSpec)
@@ -271,6 +291,10 @@ func main() {
 		}); err != nil {
 			fatal(err)
 		}
+	}
+	if *statusAddr != "" && *statusLinger > 0 {
+		fmt.Fprintf(os.Stderr, "prdrbsim: lingering %s for status scrapes\n", *statusLinger)
+		time.Sleep(*statusLinger)
 	}
 }
 

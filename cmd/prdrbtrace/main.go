@@ -1,0 +1,186 @@
+// Command prdrbtrace is the offline analytics companion to the simulator's
+// telemetry layer: it consumes the JSONL event traces and run manifests the
+// CLIs emit (-trace / -trace-out) and turns them into deterministic
+// reports — per-flow latency percentiles, metapath open/close timelines,
+// per-router contention heatmap CSVs, and a causal summary of the PR-DRB
+// decision chains (saturation → SolDB hit/miss → metapath open →
+// recovery). All output is a pure function of the trace bytes, so reports
+// from a fixed-seed run are byte-identical across executions — goldens can
+// pin them.
+//
+// Usage:
+//
+//	prdrbtrace report -trace run.jsonl [-manifest run-manifest.json]
+//	    [-top 20] [-timeline 40] [-window 50us] [-heatmap-dir DIR]
+//	prdrbtrace validate -trace run.jsonl [-manifest run-manifest.json]
+//	prdrbtrace metrics-validate [exposition.txt]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"prdrb/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "prdrbtrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run dispatches the subcommand; stdout is injected for tests.
+func run(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: prdrbtrace <report|validate|metrics-validate> [flags]")
+	}
+	switch args[0] {
+	case "report":
+		return cmdReport(args[1:], stdout)
+	case "validate":
+		return cmdValidate(args[1:], stdout)
+	case "metrics-validate":
+		return cmdMetricsValidate(args[1:], stdout)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want report, validate or metrics-validate)", args[0])
+	}
+}
+
+// readTrace loads and time-orders a JSONL event trace. Traces are written
+// time-sorted; the stable re-sort only defends against hand-edited files.
+func readTrace(path string) ([]telemetry.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var events []telemetry.Event
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev telemetry.Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sortStableByAt(events)
+	return events, nil
+}
+
+func cmdReport(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	tracePath := fs.String("trace", "", "JSONL event trace (required)")
+	manifestPath := fs.String("manifest", "", "run manifest to validate and summarize")
+	top := fs.Int("top", 20, "flows shown in the latency table")
+	timeline := fs.Int("timeline", 40, "max metapath timeline lines")
+	window := fs.Duration("window", 50*time.Microsecond, "heatmap aggregation window (virtual time)")
+	heatmapDir := fs.String("heatmap-dir", "", "write per-router contention CSVs into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" {
+		return fmt.Errorf("report: -trace is required")
+	}
+	events, err := readTrace(*tracePath)
+	if err != nil {
+		return err
+	}
+	var mf *telemetry.Manifest
+	if *manifestPath != "" {
+		if err := telemetry.ValidateManifestFile(*manifestPath); err != nil {
+			return fmt.Errorf("manifest: %w", err)
+		}
+		b, err := os.ReadFile(*manifestPath)
+		if err != nil {
+			return err
+		}
+		mf = &telemetry.Manifest{}
+		if err := json.Unmarshal(b, mf); err != nil {
+			return fmt.Errorf("manifest: %w", err)
+		}
+	}
+	r := analyze(events, sim64(*window))
+	r.writeReport(stdout, *tracePath, mf, *top, *timeline)
+	if *heatmapDir != "" {
+		files, err := r.writeHeatmaps(*heatmapDir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nheatmap: wrote %d router CSVs to %s\n", files, *heatmapDir)
+	}
+	return nil
+}
+
+// sim64 converts a wall flag duration into virtual nanoseconds.
+func sim64(d time.Duration) int64 {
+	if d <= 0 {
+		return int64(50 * time.Microsecond)
+	}
+	return int64(d)
+}
+
+func cmdValidate(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	tracePath := fs.String("trace", "", "JSONL event trace (required)")
+	manifestPath := fs.String("manifest", "", "run manifest to validate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" {
+		return fmt.Errorf("validate: -trace is required")
+	}
+	n, err := telemetry.ValidateTraceFile(*tracePath)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	fmt.Fprintf(stdout, "trace: %s ok (%d events)\n", *tracePath, n)
+	if *manifestPath != "" {
+		if err := telemetry.ValidateManifestFile(*manifestPath); err != nil {
+			return fmt.Errorf("manifest: %w", err)
+		}
+		fmt.Fprintf(stdout, "manifest: %s ok\n", *manifestPath)
+	}
+	return nil
+}
+
+func cmdMetricsValidate(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("metrics-validate", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var in io.Reader = os.Stdin
+	name := "stdin"
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in, name = f, fs.Arg(0)
+	}
+	n, err := telemetry.ValidateExposition(in)
+	if err != nil {
+		return fmt.Errorf("exposition: %w", err)
+	}
+	if n == 0 {
+		return fmt.Errorf("exposition: %s has no samples", name)
+	}
+	fmt.Fprintf(stdout, "exposition: %s ok (%d samples)\n", name, n)
+	return nil
+}

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// reportArgs is the canonical invocation pinned by the golden; the
+// testdata trace is a fixed-seed ft-4-2 pr-drb shuffle run at 950 Mbps
+// (seed 7, 1-in-12 packet sampling) with every control-event kind
+// present.
+func reportArgs() []string {
+	return []string{"report",
+		"-trace", "testdata/run.jsonl",
+		"-manifest", "testdata/run-manifest.json",
+		"-top", "10", "-timeline", "15"}
+}
+
+// TestReportGolden pins the full report against the committed golden.
+// Regenerate with `go test ./cmd/prdrbtrace -run TestReportGolden -update`.
+func TestReportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(reportArgs(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report drifted from %s (rerun with -update if intended):\n--- got ---\n%s", golden, buf.String())
+	}
+}
+
+// TestReportByteIdentical is the determinism acceptance check: two
+// identical invocations — including heatmap emission — must produce
+// byte-identical reports and byte-identical CSVs.
+func TestReportByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	args := append(reportArgs(), "-heatmap-dir", dir)
+	var first, second bytes.Buffer
+	if err := run(args, &first); err != nil {
+		t.Fatal(err)
+	}
+	csvs, err := filepath.Glob(filepath.Join(dir, "series-trace-router-*.csv"))
+	if err != nil || len(csvs) == 0 {
+		t.Fatalf("no heatmap CSVs written (err=%v)", err)
+	}
+	firstCSV := map[string][]byte{}
+	for _, f := range csvs {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		firstCSV[filepath.Base(f)] = b
+	}
+	if err := run(args, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("two identical invocations produced different reports")
+	}
+	for name, b := range firstCSV {
+		again, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b, again) {
+			t.Errorf("heatmap %s differs between identical invocations", name)
+		}
+	}
+}
+
+// TestHeatmapGolden pins one router's contention CSV: the
+// results/series-*.csv shape (t_us first column, 4-decimal floats).
+func TestHeatmapGolden(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"report", "-trace", "testdata/run.jsonl", "-heatmap-dir", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "series-trace-router-0.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(got), "t_us,wait_us\n") {
+		t.Errorf("heatmap header = %q", strings.SplitN(string(got), "\n", 2)[0])
+	}
+	golden := filepath.Join("testdata", "heatmap.golden.csv")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("router-0 heatmap drifted from %s:\n%s", golden, got)
+	}
+	if !strings.Contains(buf.String(), "heatmap: wrote ") {
+		t.Errorf("report missing heatmap summary line:\n%s", buf.String())
+	}
+}
+
+// TestValidateSubcommand checks the validate path over the committed
+// artifacts.
+func TestValidateSubcommand(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"validate",
+		"-trace", "testdata/run.jsonl",
+		"-manifest", "testdata/run-manifest.json"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "trace: testdata/run.jsonl ok (3050 events)") {
+		t.Errorf("unexpected validate output:\n%s", out)
+	}
+	if !strings.Contains(out, "manifest: testdata/run-manifest.json ok") {
+		t.Errorf("manifest not validated:\n%s", out)
+	}
+}
+
+// TestMetricsValidateSubcommand checks exposition validation through the
+// CLI for both a well-formed and a malformed file.
+func TestMetricsValidateSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.txt")
+	os.WriteFile(good, []byte(`# TYPE prdrb_x gauge
+prdrb_x 3
+# TYPE prdrb_h histogram
+prdrb_h_bucket{le="10"} 1
+prdrb_h_bucket{le="+Inf"} 2
+prdrb_h_sum 11
+prdrb_h_count 2
+`), 0o644)
+	var buf bytes.Buffer
+	if err := run([]string{"metrics-validate", good}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ok (5 samples)") {
+		t.Errorf("unexpected output: %s", buf.String())
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	os.WriteFile(bad, []byte(`# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="2"} 3
+h_bucket{le="+Inf"} 5
+h_count 5
+`), 0o644)
+	if err := run([]string{"metrics-validate", bad}, &buf); err == nil {
+		t.Error("non-cumulative exposition accepted")
+	}
+	empty := filepath.Join(dir, "empty.txt")
+	os.WriteFile(empty, nil, 0o644)
+	if err := run([]string{"metrics-validate", empty}, &buf); err == nil {
+		t.Error("empty exposition accepted")
+	}
+}
+
+// TestUsageErrors checks the dispatcher's failure modes.
+func TestUsageErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("no-args invocation succeeded")
+	}
+	if err := run([]string{"bogus"}, &buf); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"report"}, &buf); err == nil {
+		t.Error("report without -trace accepted")
+	}
+	if err := run([]string{"report", "-trace", "testdata/nope.jsonl"}, &buf); err == nil {
+		t.Error("missing trace file accepted")
+	}
+	if err := run([]string{"validate", "-trace", "testdata/nope.jsonl"}, &buf); err == nil {
+		t.Error("validate of missing file accepted")
+	}
+}

@@ -1,0 +1,351 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"prdrb/internal/metrics"
+	"prdrb/internal/sim"
+	"prdrb/internal/telemetry"
+)
+
+// Trace analysis. Everything here is a pure function of the (time-sorted)
+// event slice: maps are only iterated through sorted key lists, ties
+// break on stable secondary keys, floats render through fixed-precision
+// formatting — so the same trace bytes always produce the same report
+// bytes.
+
+// sortStableByAt time-orders events, preserving file order within a
+// timestamp (traces interleave same-tick events in a meaningful causal
+// order).
+func sortStableByAt(events []telemetry.Event) {
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+}
+
+// flowKey identifies a (src, dst) traffic flow.
+type flowKey struct{ src, dst int }
+
+// mpKey identifies a metapath: controller node and destination.
+type mpKey struct{ node, dst int }
+
+// mpEpisode tracks one congestion episode of a metapath for the causal
+// summary: a saturation event opens it; the first SolDB hit or metapath
+// open resolves it.
+type mpEpisode struct {
+	satAt    int64
+	resolved bool
+}
+
+// timelineEntry is one metapath open/close line.
+type timelineEntry struct {
+	at    int64
+	node  int
+	dst   int
+	open  bool
+	paths int64
+}
+
+// heatCell accumulates queue-wait samples for one (router, window).
+type heatCell struct {
+	sum float64
+	n   int64
+}
+
+// analysis is everything the report sections draw from.
+type analysis struct {
+	events   int
+	runs     map[int]bool
+	firstAt  int64
+	lastAt   int64
+	windowNs int64
+
+	// Flow latency (deliver events).
+	flows     map[flowKey]*metrics.Histogram
+	delivered int64
+	dropped   int64
+	injected  int64
+
+	// Metapath timeline.
+	timeline []timelineEntry
+
+	// Heatmap: router -> windowIdx -> cell.
+	heat    map[int]map[int64]*heatCell
+	maxHeat int64 // highest window index seen
+
+	// Causal summary.
+	saturations    int64
+	satNodes       map[int]bool
+	resolvedByHit  int64
+	resolvedByOpen int64
+	unresolved     int64
+	solDBMisses    int64
+	solDBSaves     int64
+	opens          int64
+	closes         int64
+	peakPaths      int64
+	reliefNs       *metrics.Histogram
+	pathFails      int64
+	recoveries     int64
+	recoveryNs     *metrics.Histogram
+	watchdogs      int64
+	predAcks       int64
+	linkDown       int64
+	linkUp         int64
+	linkDegrade    int64
+}
+
+// analyze scans the trace once, folding every event into the report
+// accumulators.
+func analyze(events []telemetry.Event, windowNs int64) *analysis {
+	a := &analysis{
+		events:     len(events),
+		runs:       map[int]bool{},
+		windowNs:   windowNs,
+		flows:      map[flowKey]*metrics.Histogram{},
+		heat:       map[int]map[int64]*heatCell{},
+		satNodes:   map[int]bool{},
+		reliefNs:   metrics.NewHistogram(),
+		recoveryNs: metrics.NewHistogram(),
+	}
+	episodes := map[mpKey]*mpEpisode{}
+	if len(events) > 0 {
+		a.firstAt = events[0].At
+		a.lastAt = events[len(events)-1].At
+	}
+	for _, ev := range events {
+		a.runs[ev.Run] = true
+		switch ev.Kind {
+		case telemetry.KindInject:
+			a.injected++
+		case telemetry.KindDeliver:
+			a.delivered++
+			k := flowKey{ev.Src, ev.Dst}
+			h := a.flows[k]
+			if h == nil {
+				h = metrics.NewHistogram()
+				a.flows[k] = h
+			}
+			h.Observe(sim.Time(ev.Dur))
+		case telemetry.KindDrop:
+			a.dropped++
+		case telemetry.KindHop:
+			w := a.heat[ev.Router]
+			if w == nil {
+				w = map[int64]*heatCell{}
+				a.heat[ev.Router] = w
+			}
+			idx := ev.At / windowNs
+			c := w[idx]
+			if c == nil {
+				c = &heatCell{}
+				w[idx] = c
+			}
+			c.sum += float64(ev.Dur)
+			c.n++
+			if idx > a.maxHeat {
+				a.maxHeat = idx
+			}
+		case telemetry.KindSaturation:
+			a.saturations++
+			a.satNodes[ev.Src] = true
+			k := mpKey{ev.Src, ev.Dst}
+			if ep := episodes[k]; ep != nil && !ep.resolved {
+				a.unresolved++
+			}
+			episodes[k] = &mpEpisode{satAt: ev.At}
+		case telemetry.KindSolDBHit:
+			if ep := episodes[mpKey{ev.Src, ev.Dst}]; ep != nil && !ep.resolved {
+				ep.resolved = true
+				a.resolvedByHit++
+				a.reliefNs.Observe(sim.Time(ev.At - ep.satAt))
+			}
+		case telemetry.KindSolDBMiss:
+			a.solDBMisses++
+		case telemetry.KindSolDBSave:
+			a.solDBSaves++
+		case telemetry.KindMetapathOpen:
+			a.opens++
+			if ev.Val > a.peakPaths {
+				a.peakPaths = ev.Val
+			}
+			a.timeline = append(a.timeline, timelineEntry{ev.At, ev.Src, ev.Dst, true, ev.Val})
+			if ep := episodes[mpKey{ev.Src, ev.Dst}]; ep != nil && !ep.resolved {
+				ep.resolved = true
+				a.resolvedByOpen++
+				a.reliefNs.Observe(sim.Time(ev.At - ep.satAt))
+			}
+		case telemetry.KindMetapathClose:
+			a.closes++
+			a.timeline = append(a.timeline, timelineEntry{ev.At, ev.Src, ev.Dst, false, ev.Val})
+		case telemetry.KindPathFail:
+			a.pathFails++
+		case telemetry.KindRecovery:
+			a.recoveries++
+			a.recoveryNs.Observe(sim.Time(ev.Dur))
+		case telemetry.KindWatchdog:
+			a.watchdogs++
+		case telemetry.KindPredAck:
+			a.predAcks++
+		case telemetry.KindLinkDown:
+			a.linkDown++
+		case telemetry.KindLinkUp:
+			a.linkUp++
+		case telemetry.KindLinkDegrade:
+			a.linkDegrade++
+		}
+	}
+	for _, ep := range episodes {
+		if !ep.resolved {
+			a.unresolved++
+		}
+	}
+	return a
+}
+
+// us renders nanoseconds as microseconds with fixed precision.
+func us(ns float64) string { return strconv.FormatFloat(ns/1e3, 'f', 2, 64) }
+
+// writeReport renders the full text report.
+func (a *analysis) writeReport(w io.Writer, tracePath string, mf *telemetry.Manifest, top, timelineMax int) {
+	fmt.Fprintf(w, "# prdrbtrace report\n")
+	fmt.Fprintf(w, "trace: %s (%d events, %d run(s), span %sus..%sus)\n",
+		filepath.Base(tracePath), a.events, len(a.runs), us(float64(a.firstAt)), us(float64(a.lastAt)))
+	if mf != nil {
+		fmt.Fprintf(w, "manifest: %s seed=%d (schema ok)\n", mf.Name, mf.Seed)
+	}
+	a.writeFlowTable(w, top)
+	a.writeTimeline(w, timelineMax)
+	a.writeCausalSummary(w)
+}
+
+// writeFlowTable prints per-flow latency percentiles, busiest flows
+// first (count desc, then src, then dst), with an all-flows total row.
+func (a *analysis) writeFlowTable(w io.Writer, top int) {
+	fmt.Fprintf(w, "\n## flow latency (delivered=%d dropped=%d injected=%d)\n", a.delivered, a.dropped, a.injected)
+	if len(a.flows) == 0 {
+		fmt.Fprintf(w, "(no deliver events in trace)\n")
+		return
+	}
+	keys := make([]flowKey, 0, len(a.flows))
+	for k := range a.flows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ci, cj := a.flows[keys[i]].Count(), a.flows[keys[j]].Count()
+		if ci != cj {
+			return ci > cj
+		}
+		if keys[i].src != keys[j].src {
+			return keys[i].src < keys[j].src
+		}
+		return keys[i].dst < keys[j].dst
+	})
+	fmt.Fprintf(w, "%-12s %8s %10s %10s %10s\n", "flow", "pkts", "p50_us", "p99_us", "max_us")
+	total := metrics.NewHistogram()
+	for _, k := range keys {
+		total.Merge(a.flows[k])
+	}
+	shown := keys
+	if top > 0 && len(shown) > top {
+		shown = shown[:top]
+	}
+	for _, k := range shown {
+		h := a.flows[k]
+		fmt.Fprintf(w, "%-12s %8d %10s %10s %10s\n",
+			fmt.Sprintf("%d->%d", k.src, k.dst), h.Count(),
+			us(h.Quantile(0.5)), us(h.Quantile(0.99)), us(h.Quantile(1)))
+	}
+	if len(shown) < len(keys) {
+		fmt.Fprintf(w, "(%d more flows not shown)\n", len(keys)-len(shown))
+	}
+	fmt.Fprintf(w, "%-12s %8d %10s %10s %10s\n", "TOTAL", total.Count(),
+		us(total.Quantile(0.5)), us(total.Quantile(0.99)), us(total.Quantile(1)))
+}
+
+// writeTimeline prints the metapath open/close sequence.
+func (a *analysis) writeTimeline(w io.Writer, max int) {
+	fmt.Fprintf(w, "\n## metapath timeline (%d opens, %d closes)\n", a.opens, a.closes)
+	if len(a.timeline) == 0 {
+		fmt.Fprintf(w, "(no metapath events in trace)\n")
+		return
+	}
+	fmt.Fprintf(w, "%10s %6s %6s %-6s %s\n", "t_us", "node", "dst", "event", "paths")
+	shown := a.timeline
+	if max > 0 && len(shown) > max {
+		shown = shown[:max]
+	}
+	for _, e := range shown {
+		kind := "open"
+		if !e.open {
+			kind = "close"
+		}
+		fmt.Fprintf(w, "%10s %6d %6d %-6s %d\n", us(float64(e.at)), e.node, e.dst, kind, e.paths)
+	}
+	if len(shown) < len(a.timeline) {
+		fmt.Fprintf(w, "(%d more events not shown)\n", len(a.timeline)-len(shown))
+	}
+}
+
+// writeCausalSummary prints the decision-chain aggregates.
+func (a *analysis) writeCausalSummary(w io.Writer) {
+	fmt.Fprintf(w, "\n## causal decision summary\n")
+	fmt.Fprintf(w, "saturation episodes: %d (across %d nodes)\n", a.saturations, len(a.satNodes))
+	fmt.Fprintf(w, "  resolved by SolDB hit:      %d\n", a.resolvedByHit)
+	fmt.Fprintf(w, "  resolved by metapath open:  %d\n", a.resolvedByOpen)
+	fmt.Fprintf(w, "  unresolved at trace end:    %d\n", a.unresolved)
+	if a.reliefNs.Count() > 0 {
+		fmt.Fprintf(w, "  saturation->relief latency: p50=%sus p99=%sus (n=%d)\n",
+			us(a.reliefNs.Quantile(0.5)), us(a.reliefNs.Quantile(0.99)), a.reliefNs.Count())
+	}
+	fmt.Fprintf(w, "SolDB: misses=%d saves=%d\n", a.solDBMisses, a.solDBSaves)
+	fmt.Fprintf(w, "metapaths: opened=%d closed=%d peak_paths=%d\n", a.opens, a.closes, a.peakPaths)
+	fmt.Fprintf(w, "faults: link_down=%d link_up=%d link_degrade=%d\n", a.linkDown, a.linkUp, a.linkDegrade)
+	fmt.Fprintf(w, "recovery: path_fails=%d recoveries=%d", a.pathFails, a.recoveries)
+	if a.recoveryNs.Count() > 0 {
+		fmt.Fprintf(w, " (p50=%sus p99=%sus)", us(a.recoveryNs.Quantile(0.5)), us(a.recoveryNs.Quantile(0.99)))
+	}
+	fmt.Fprintf(w, "\nnotifications: watchdog=%d predictive_ack_batches=%d\n", a.watchdogs, a.predAcks)
+}
+
+// writeHeatmaps emits one contention CSV per router with hop events, in
+// the results/series-*.csv shape: a t_us column (window end) and the
+// window's average queue wait in microseconds, 4-decimal fixed floats.
+// Returns the number of files written.
+func (a *analysis) writeHeatmaps(dir string) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	routers := make([]int, 0, len(a.heat))
+	for r := range a.heat {
+		routers = append(routers, r)
+	}
+	sort.Ints(routers)
+	for _, r := range routers {
+		cells := a.heat[r]
+		idxs := make([]int64, 0, len(cells))
+		for i := range cells {
+			idxs = append(idxs, i)
+		}
+		sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+		var sb strings.Builder
+		sb.WriteString("t_us,wait_us\n")
+		for _, i := range idxs {
+			c := cells[i]
+			tUs := float64((i+1)*a.windowNs) / 1e3
+			sb.WriteString(strconv.FormatFloat(tUs, 'f', 4, 64))
+			sb.WriteByte(',')
+			sb.WriteString(strconv.FormatFloat(c.sum/float64(c.n)/1e3, 'f', 4, 64))
+			sb.WriteByte('\n')
+		}
+		path := filepath.Join(dir, fmt.Sprintf("series-trace-router-%d.csv", r))
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			return 0, err
+		}
+	}
+	return len(routers), nil
+}

@@ -1,0 +1,23 @@
+package core
+
+// OpenPathCounts reports the controller fleet's live metapath state: how
+// many metapaths currently hold more than their direct path (open, in the
+// paper's sense — distributing a flow over alternatives), and how many
+// extra (non-direct) paths those metapaths have injected in total. Pure
+// counting over controller-owned maps, so it must run where the
+// controllers are quiescent (engine goroutine, or a shard-group barrier).
+// Nil controllers (nodes without PR-DRB) are skipped.
+func OpenPathCounts(ctls []*Controller) (openMetapaths, extraPaths int) {
+	for _, c := range ctls {
+		if c == nil {
+			continue
+		}
+		for _, mp := range c.mps {
+			if n := len(mp.paths); n > 1 {
+				openMetapaths++
+				extraPaths += n - 1
+			}
+		}
+	}
+	return openMetapaths, extraPaths
+}

@@ -16,6 +16,7 @@ import (
 type Histogram struct {
 	counts []int64
 	total  int64
+	sum    float64
 	min    sim.Time
 	max    sim.Time
 }
@@ -54,6 +55,7 @@ func bucketLow(b int) float64 {
 func (h *Histogram) Observe(v sim.Time) {
 	h.counts[bucketOf(v)]++
 	h.total++
+	h.sum += float64(v)
 	if v < h.min {
 		h.min = v
 	}
@@ -64,6 +66,28 @@ func (h *Histogram) Observe(v sim.Time) {
 
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() int64 { return h.total }
+
+// Sum returns the sum of all recorded samples in nanoseconds.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Export snapshots the histogram for exposition: parallel slices of bucket
+// upper bounds (ns, ascending) and the cumulative count of samples at or
+// below each bound, plus the total count and sample sum. Empty buckets are
+// elided — the cumulative counts stay valid over any bucket subset — so a
+// typical latency distribution exports a handful of lines, not the full
+// 241-bucket grid.
+func (h *Histogram) Export() (bounds []float64, cumulative []int64, total int64, sum float64) {
+	var cum int64
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		bounds = append(bounds, bucketLow(b+1))
+		cumulative = append(cumulative, cum)
+	}
+	return bounds, cumulative, h.total, h.sum
+}
 
 // Quantile returns the q-quantile (0 <= q <= 1) in nanoseconds, estimated
 // at bucket granularity. It returns 0 for an empty histogram.

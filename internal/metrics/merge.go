@@ -33,6 +33,7 @@ func (h *Histogram) Merge(o *Histogram) {
 		h.counts[b] += c
 	}
 	h.total += o.total
+	h.sum += o.sum
 	if o.min < h.min {
 		h.min = o.min
 	}

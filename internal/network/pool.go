@@ -54,6 +54,7 @@ func (sh *Shard) newPacket() *Packet {
 // the packet's final owner.
 func (sh *Shard) releasePacket(p *Packet) {
 	*p = Packet{}
+	sh.pktReleased++
 	sh.pktFree = append(sh.pktFree, p)
 	if len(sh.pktFree) > sh.pktFreePeak {
 		sh.pktFreePeak = len(sh.pktFree)

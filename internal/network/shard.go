@@ -50,6 +50,7 @@ type Shard struct {
 	pktFree     []*Packet
 	pktFreePeak int
 	pktIssued   uint64
+	pktReleased uint64
 	nextPktID   uint64
 	nextMsgID   uint64
 	idStride    uint64

@@ -116,6 +116,12 @@ type Sim struct {
 	// Telemetry is the attached observability bundle (nil when off).
 	Telemetry *telemetry.Telemetry
 	rng       *sim.RNG
+
+	// Live-status plane (status.go): the sampler state when a board is
+	// attached, and the cross-goroutine progress feed. Both nil-safe.
+	status         *statusState
+	live           *telemetry.LiveStats
+	lastLiveEvents int64
 }
 
 // builder carries the intermediate state of simulation assembly. Each step
@@ -247,6 +253,8 @@ func (b *builder) build() (*Sim, error) {
 	if tel != nil {
 		s.registerStandardMetrics(tel.Registry)
 	}
+	s.live = DefaultLive
+	s.AttachStatus(DefaultStatus, DefaultStatusEvery)
 	return s, nil
 }
 
@@ -277,6 +285,10 @@ func (s *Sim) registerStandardMetrics(r *telemetry.Registry) {
 		}
 		return int64(n)
 	})
+	// End-to-end and recovery latency distributions, merged across shards
+	// on demand at snapshot time.
+	r.Histogram("latency.e2e_ns", s.histSnapshotFn(func(c *metrics.Collector) *metrics.Histogram { return c.Hist }))
+	r.Histogram("recovery.latency_ns", s.histSnapshotFn(func(c *metrics.Collector) *metrics.Histogram { return c.Recovery }))
 	r.Gauge("net.packets_issued", func() int64 { i, _ := net.PacketPoolStats(); return int64(i) })
 	r.Gauge("net.packet_pool_peak", func() int64 { _, p := net.PacketPoolStats(); return int64(p) })
 	r.Gauge("net.credits_stalled", net.CreditsStalled)
@@ -532,6 +544,7 @@ type Results struct {
 // GOMAXPROCS allows; the results are identical either way).
 func (s *Sim) Execute(horizon sim.Time) Results {
 	s.Net.Drain(horizon)
+	s.syncLive(int64(s.Processed()), int64(s.Now()))
 	return s.Summarize()
 }
 

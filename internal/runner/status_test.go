@@ -1,0 +1,220 @@
+package runner
+
+import (
+	"reflect"
+	"testing"
+
+	"prdrb/internal/sim"
+	"prdrb/internal/telemetry"
+)
+
+const statusTestHorizon = sim.Time(2_000_000) // 2ms: enough to drain the 200µs load
+
+func installStatusLoad(t *testing.T, s *Sim) {
+	t.Helper()
+	if err := s.InstallPattern(PatternSpec{Pattern: "shuffle", RateMbps: 400, Start: 0, End: 200_000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedStatusWindows is the acceptance check for the live plane on
+// the conservative-parallel engine: every published snapshot's per-shard
+// window position must agree with the shard group's actual barrier
+// progression — windows the samplers report are exactly the windows the
+// barriers closed, and each shard's sample time sits inside its window.
+func TestShardedStatusWindows(t *testing.T) {
+	board := telemetry.NewBoard()
+	s := MustNew(Experiment{Policy: PolicyPRDRB, Seed: 11, Shards: 2})
+	s.AttachStatus(board, 10_000) // sample every 10µs of virtual time
+	g := s.Net.Group()
+	if g == nil {
+		t.Fatal("expected a sharded simulation")
+	}
+	// Record the engine's ground truth: the exact winEnd of every barrier,
+	// and the snapshot published at it. Registered after AttachStatus, so
+	// the sampler's own barrier hook has already published when this runs.
+	type barrierRec struct {
+		winEnd sim.Time
+		st     telemetry.Status
+	}
+	var recs []barrierRec
+	barrierEnds := map[int64]bool{}
+	g.OnBarrier(func(winEnd sim.Time) {
+		barrierEnds[int64(winEnd)] = true
+		if st, ok := board.Latest(); ok {
+			recs = append(recs, barrierRec{winEnd, st})
+		}
+	})
+	installStatusLoad(t, s)
+	res := s.Execute(statusTestHorizon)
+	if res.DeliveredPkts == 0 {
+		t.Fatal("no traffic delivered; the load did not run")
+	}
+	if len(recs) == 0 {
+		t.Fatal("no status snapshots published at barriers")
+	}
+
+	sampled := make([]int, g.Shards())
+	var lastSeq uint64
+	var lastVirtual int64
+	for _, r := range recs {
+		st := r.st
+		if st.Seq <= lastSeq {
+			t.Fatalf("Seq not increasing: %d after %d", st.Seq, lastSeq)
+		}
+		if st.VirtualNs < lastVirtual {
+			t.Fatalf("VirtualNs went backwards: %d after %d", st.VirtualNs, lastVirtual)
+		}
+		lastSeq, lastVirtual = st.Seq, st.VirtualNs
+		// The group-level snapshot is assembled at the barrier itself.
+		if st.VirtualNs != int64(r.winEnd) {
+			t.Fatalf("snapshot virtual time %d != barrier winEnd %d", st.VirtualNs, r.winEnd)
+		}
+		if len(st.Shards) != g.Shards() {
+			t.Fatalf("snapshot has %d shard entries, want %d", len(st.Shards), g.Shards())
+		}
+		for i, sh := range st.Shards {
+			if sh.Shard != i {
+				t.Fatalf("shard entry %d labeled %d", i, sh.Shard)
+			}
+			if sh.AtNs == 0 {
+				continue // shard not sampled yet this run
+			}
+			sampled[i]++
+			// The sample must sit inside the window it reports...
+			if sh.WindowStartNs > sh.AtNs || sh.AtNs > sh.WindowEndNs {
+				t.Fatalf("shard %d sampled at %d outside window [%d, %d]",
+					i, sh.AtNs, sh.WindowStartNs, sh.WindowEndNs)
+			}
+			// ...and the reported window must be one the engine actually
+			// closed: its end appears in the barrier progression.
+			if !barrierEnds[sh.WindowEndNs] {
+				t.Fatalf("shard %d reports window end %d, never a barrier", i, sh.WindowEndNs)
+			}
+			// No snapshot may report a window past the barrier that
+			// published it.
+			if sh.WindowEndNs > int64(r.winEnd) {
+				t.Fatalf("shard %d window end %d beyond publishing barrier %d",
+					i, sh.WindowEndNs, r.winEnd)
+			}
+		}
+	}
+	for i, n := range sampled {
+		if n == 0 {
+			t.Errorf("shard %d was never sampled", i)
+		}
+	}
+	final := recs[len(recs)-1].st
+	if final.EventsProcessed == 0 || final.DeliveredPkts == 0 {
+		t.Errorf("final snapshot empty: %+v", final)
+	}
+	if final.OfferedPkts < final.DeliveredPkts {
+		t.Errorf("offered %d < delivered %d", final.OfferedPkts, final.DeliveredPkts)
+	}
+}
+
+// TestSerialStatusSampler checks the single-engine sampler: periodic
+// publishes with the degenerate [at, at] window and a terminating engine
+// (the sampler must not keep an otherwise-drained queue alive).
+func TestSerialStatusSampler(t *testing.T) {
+	board := telemetry.NewBoard()
+	s := MustNew(Experiment{Policy: PolicyPRDRB, Seed: 11})
+	s.AttachStatus(board, 10_000)
+	installStatusLoad(t, s)
+	res := s.Execute(statusTestHorizon)
+	if res.DeliveredPkts == 0 {
+		t.Fatal("no traffic delivered")
+	}
+	if s.Eng.Len() != 0 {
+		t.Fatalf("engine did not drain: %d events pending (sampler self-rescheduling?)", s.Eng.Len())
+	}
+	st, ok := board.Latest()
+	if !ok {
+		t.Fatal("no status published")
+	}
+	if st.Seq < 2 {
+		t.Errorf("only %d publishes over a 200µs run sampled at 10µs", st.Seq)
+	}
+	if len(st.Shards) != 1 {
+		t.Fatalf("serial snapshot has %d shard entries, want 1", len(st.Shards))
+	}
+	sh := st.Shards[0]
+	if sh.WindowStartNs != sh.AtNs || sh.WindowEndNs != sh.AtNs {
+		t.Errorf("serial window not degenerate: at=%d window=[%d, %d]", sh.AtNs, sh.WindowStartNs, sh.WindowEndNs)
+	}
+	if st.EventsProcessed == 0 || sh.Processed == 0 {
+		t.Errorf("snapshot reports no progress: %+v", st)
+	}
+}
+
+// TestStatusDisabledIdentical pins the exactly-free contract: attaching
+// the status plane must not change simulation results for a fixed seed,
+// serial or sharded.
+func TestStatusDisabledIdentical(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		run := func(board *telemetry.Board) Results {
+			s := MustNew(Experiment{Policy: PolicyPRDRB, Seed: 42, Shards: shards})
+			if board != nil {
+				s.AttachStatus(board, 10_000)
+			}
+			installStatusLoad(t, s)
+			return s.Execute(statusTestHorizon)
+		}
+		plain := run(nil)
+		observed := run(telemetry.NewBoard())
+		// The sampler's final self-scheduled tick may sit after the last
+		// traffic event, so the drained clock can legally advance by up to
+		// one sampling interval. Everything physical must be identical.
+		if observed.Elapsed < plain.Elapsed || observed.Elapsed > plain.Elapsed+10_000 {
+			t.Errorf("shards=%d: drained clock %d vs %d, want within one interval",
+				shards, observed.Elapsed, plain.Elapsed)
+		}
+		plain.Elapsed, observed.Elapsed = 0, 0
+		if !reflect.DeepEqual(plain, observed) {
+			t.Errorf("shards=%d: results changed with status attached:\nplain:    %+v\nobserved: %+v",
+				shards, plain, observed)
+		}
+	}
+}
+
+// TestAttachStatusNilBoard checks the no-op path: without a board no
+// sampler state exists and nothing is scheduled.
+func TestAttachStatusNilBoard(t *testing.T) {
+	s := MustNew(Experiment{Policy: PolicyAdaptive, Seed: 1})
+	before := s.Eng.Len()
+	s.AttachStatus(nil, 10_000)
+	if s.status != nil {
+		t.Error("nil board still built sampler state")
+	}
+	if s.Eng.Len() != before {
+		t.Error("nil board scheduled events")
+	}
+}
+
+// TestLiveStatsSync checks the cross-goroutine progress feed: after a
+// run, the shared counters equal the engine's own totals, and a second
+// run folds in only its delta.
+func TestLiveStatsSync(t *testing.T) {
+	live := &telemetry.LiveStats{}
+	prev := DefaultLive
+	DefaultLive = live
+	defer func() { DefaultLive = prev }()
+
+	s := MustNew(Experiment{Policy: PolicyAdaptive, Seed: 3})
+	installStatusLoad(t, s)
+	s.Execute(statusTestHorizon)
+	if got, want := live.Events.Load(), int64(s.Processed()); got != want {
+		t.Errorf("live events %d, want %d", got, want)
+	}
+	if got, want := live.VirtualNs.Load(), int64(s.Now()); got != want {
+		t.Errorf("live virtual time %d, want %d", got, want)
+	}
+	first := live.Events.Load()
+
+	s2 := MustNew(Experiment{Policy: PolicyAdaptive, Seed: 4})
+	installStatusLoad(t, s2)
+	s2.Execute(statusTestHorizon)
+	if got, want := live.Events.Load(), first+int64(s2.Processed()); got != want {
+		t.Errorf("after second run live events %d, want %d", got, want)
+	}
+}

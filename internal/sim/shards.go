@@ -99,6 +99,16 @@ type ShardGroup struct {
 	ctrl    []barrierTask
 	ctrlSeq int
 	sorted  bool
+	// winStart/winEnd bound the window currently (or last) executed. The
+	// coordinator writes them before spawning window goroutines, so shard
+	// goroutines read them race-free (happens-before via go statement).
+	winStart Time
+	winEnd   Time
+	// barrierFns run single-threaded at every barrier, after all shards
+	// have finished the window and before rings flush — the one point
+	// where group-wide state (rings, all shards' engines, shared wiring)
+	// is quiescent and safe to read.
+	barrierFns []func(winEnd Time)
 }
 
 // NewShardGroup builds n wheel-mode engines synchronized every window
@@ -170,6 +180,34 @@ func (g *ShardGroup) ScheduleBarrier(at Time, fn func()) {
 	g.ctrl = append(g.ctrl, barrierTask{at: at, seq: g.ctrlSeq, fn: fn})
 	g.ctrlSeq++
 	g.sorted = false
+}
+
+// OnBarrier registers fn to run at every window barrier, after all
+// shards have synchronized at winEnd and before cross-shard rings flush.
+// Hooks run single-threaded in registration order and may read any
+// shard's state; they must not schedule events in the past. Multiple
+// hooks chain (sampling and tests can observe the same barriers).
+func (g *ShardGroup) OnBarrier(fn func(winEnd Time)) {
+	g.barrierFns = append(g.barrierFns, fn)
+}
+
+// CurrentWindow returns the bounds of the window currently (or most
+// recently) executed. Safe to call from a shard goroutine during a
+// window: the coordinator writes the bounds before spawning workers.
+func (g *ShardGroup) CurrentWindow() (start, end Time) {
+	return g.winStart, g.winEnd
+}
+
+// RingDepths reports the occupancy of every cross-shard handoff ring,
+// flattened src*N+dst. Meaningful at barrier time (inside an OnBarrier
+// hook, before the flush empties them); between Run calls all depths are
+// zero.
+func (g *ShardGroup) RingDepths() []int {
+	depths := make([]int, len(g.rings))
+	for i, r := range g.rings {
+		depths[i] = len(r)
+	}
+	return depths
 }
 
 // nextTime returns the earliest pending timestamp across shards and
@@ -256,6 +294,7 @@ func (g *ShardGroup) Run(horizon Time) uint64 {
 		if winEnd > horizon {
 			winEnd = horizon
 		}
+		g.winStart, g.winEnd = start, winEnd
 		for _, e := range g.Engines {
 			e.AdvanceTo(start)
 		}
@@ -276,6 +315,9 @@ func (g *ShardGroup) Run(horizon Time) uint64 {
 			}
 		}
 		g.now = winEnd
+		for _, fn := range g.barrierFns {
+			fn(winEnd)
+		}
 		g.flushRings()
 	}
 	return g.Processed() - startProcessed

@@ -18,17 +18,34 @@ func (c *Counter) Add(d int64) { c.v += d }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v }
 
+// HistSnapshot is a point-in-time histogram state for exposition:
+// cumulative sample counts at ascending upper bounds, plus the total count
+// and the sum of all samples. Bounds may cover any subset of the source
+// histogram's buckets as long as counts stay cumulative — the Prometheus
+// bucket contract.
+type HistSnapshot struct {
+	// Bounds are bucket upper bounds in ascending order (the `le` label
+	// values); Counts[i] is the number of samples <= Bounds[i].
+	Bounds []float64
+	Counts []int64
+	// Count is the total number of samples (the implicit +Inf bucket);
+	// Sum is the sum of every sample.
+	Count int64
+	Sum   float64
+}
+
 // Registry is a wiring-time metrics registry: named counters owned by the
-// registry and gauges read through callbacks at snapshot time. Gauges make
-// existing state (engine counters, pool high-water marks, controller
-// stats) observable with zero hot-path cost — nothing is recorded until a
-// snapshot is taken.
+// registry, and gauges and histograms read through callbacks at snapshot
+// time. Gauges make existing state (engine counters, pool high-water
+// marks, controller stats) observable with zero hot-path cost — nothing is
+// recorded until a snapshot is taken.
 //
 // The registry is not safe for concurrent use: each simulation wires its
 // own, and a sweep sharing one must snapshot between runs.
 type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]func() int64
+	hists    map[string]func() HistSnapshot
 }
 
 // NewRegistry returns an empty registry.
@@ -36,6 +53,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]func() int64),
+		hists:    make(map[string]func() HistSnapshot),
 	}
 }
 
@@ -56,6 +74,25 @@ func (r *Registry) Gauge(name string, fn func() int64) {
 	r.gauges[name] = fn
 }
 
+// Histogram registers fn as the reader of the named distribution.
+// Re-registering a name replaces the reader, mirroring Gauge.
+func (r *Registry) Histogram(name string, fn func() HistSnapshot) {
+	r.hists[name] = fn
+}
+
+// SnapshotHistograms evaluates every registered histogram reader into a
+// name -> snapshot map.
+func (r *Registry) SnapshotHistograms() map[string]HistSnapshot {
+	if len(r.hists) == 0 {
+		return nil
+	}
+	out := make(map[string]HistSnapshot, len(r.hists))
+	for n, fn := range r.hists {
+		out[n] = fn()
+	}
+	return out
+}
+
 // Names returns every registered metric name, sorted.
 func (r *Registry) Names() []string {
 	names := make([]string, 0, len(r.counters)+len(r.gauges))
@@ -66,6 +103,15 @@ func (r *Registry) Names() []string {
 		if _, dup := r.counters[n]; !dup {
 			names = append(names, n)
 		}
+	}
+	for n := range r.hists {
+		if _, dupC := r.counters[n]; dupC {
+			continue
+		}
+		if _, dupG := r.gauges[n]; dupG {
+			continue
+		}
+		names = append(names, n)
 	}
 	sort.Strings(names)
 	return names

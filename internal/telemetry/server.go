@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// StatusServer serves the live observability endpoints off a Board:
+//
+//	/metrics  Prometheus text exposition of the last registry snapshot
+//	/status   JSON Status snapshot (latest published)
+//	/events   SSE stream of Status snapshots as they are published
+//	/debug/   net/http/pprof (DefaultServeMux, registered by profile.go)
+//
+// Handlers only read the Board and LiveStats — never live simulation
+// state — so serving is race-free by construction.
+type StatusServer struct {
+	Board *Board
+	// Live feeds the events/sec estimate; optional.
+	Live *LiveStats
+
+	// rate estimator state (wall-clock side only).
+	mu         sync.Mutex
+	lastWall   time.Time
+	lastEvents int64
+	lastRate   float64
+}
+
+// NewStatusServer wires a server over board and live (either may be nil,
+// though a nil board serves only 404s and pprof).
+func NewStatusServer(board *Board, live *LiveStats) *StatusServer {
+	return &StatusServer{Board: board, Live: live}
+}
+
+// eventsPerSec estimates the wall-clock event rate from LiveStats deltas,
+// holding each estimate for at least 250ms so rapid scrapes don't divide
+// by near-zero intervals.
+func (s *StatusServer) eventsPerSec() float64 {
+	if s.Live == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	ev := s.Live.Events.Load()
+	if s.lastWall.IsZero() {
+		s.lastWall, s.lastEvents = now, ev
+		return 0
+	}
+	dt := now.Sub(s.lastWall)
+	if dt < 250*time.Millisecond {
+		return s.lastRate
+	}
+	s.lastRate = float64(ev-s.lastEvents) / dt.Seconds()
+	s.lastWall, s.lastEvents = now, ev
+	return s.lastRate
+}
+
+// Handler returns the endpoint mux.
+func (s *StatusServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/events", s.handleEvents)
+	// pprof registers on the DefaultServeMux at package init.
+	mux.Handle("/debug/", http.DefaultServeMux)
+	return mux
+}
+
+func (s *StatusServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	scalars, hists := s.Board.Metrics()
+	if scalars == nil && hists == nil {
+		http.Error(w, "no metrics published yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", ExpoContentType)
+	_ = WriteExposition(w, scalars, hists)
+}
+
+// currentStatus assembles the latest snapshot with the wall-rate filled
+// in.
+func (s *StatusServer) currentStatus() (Status, bool) {
+	st, ok := s.Board.Latest()
+	if !ok {
+		return Status{}, false
+	}
+	st.EventsPerSec = s.eventsPerSec()
+	return st, true
+}
+
+func (s *StatusServer) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	st, ok := s.currentStatus()
+	if !ok {
+		http.Error(w, "no status published yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(st)
+}
+
+// handleEvents streams snapshots as server-sent events: each newly
+// published status (detected by Seq) becomes one `event: status` frame.
+// The poll cadence is wall-clock (default 250ms, ?poll_ms= overrides) —
+// the virtual-time cadence is the sampler's business, this only controls
+// how promptly a publish reaches the wire. The stream ends when the
+// client disconnects.
+func (s *StatusServer) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	poll := 250 * time.Millisecond
+	if v := r.URL.Query().Get("poll_ms"); v != "" {
+		if ms, err := strconv.Atoi(v); err == nil && ms > 0 {
+			poll = time.Duration(ms) * time.Millisecond
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	var lastSeq uint64
+	for {
+		if st, ok := s.currentStatus(); ok && st.Seq != lastSeq {
+			lastSeq = st.Seq
+			if err := writeSSE(w, "status", st); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// writeSSE emits one server-sent event frame: `event: <name>` and a
+// single `data:` line holding the compact JSON payload, followed by the
+// blank separator line.
+func writeSSE(w http.ResponseWriter, event string, payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	return err
+}
+
+// ServeStatus binds addr, serves the status endpoints in a background
+// goroutine, and returns the bound address (useful with ":0"). Like
+// ServePprof, serve errors after a successful bind are swallowed —
+// observability must never abort a run.
+func ServeStatus(addr string, board *Board, live *LiveStats) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := NewStatusServer(board, live)
+	go func() { _ = http.Serve(ln, srv.Handler()) }()
+	return ln.Addr().String(), nil
+}

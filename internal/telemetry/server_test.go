@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestStatus() Status {
+	return Status{
+		VirtualNs:       123_000,
+		EventsProcessed: 456,
+		DeliveredPkts:   7,
+		Shards: []ShardStatus{
+			{Shard: 0, AtNs: 120_000, WindowStartNs: 100_000, WindowEndNs: 150_000, Processed: 200, Pending: 3},
+			{Shard: 1, AtNs: 130_000, WindowStartNs: 100_000, WindowEndNs: 150_000, Processed: 256, Pending: 0},
+		},
+		RingDepths: []int{0, 1, 2, 0},
+	}
+}
+
+// TestBoardPublish covers Seq stamping and snapshot isolation.
+func TestBoardPublish(t *testing.T) {
+	b := NewBoard()
+	if _, ok := b.Latest(); ok {
+		t.Fatal("empty board reported a status")
+	}
+	st := newTestStatus()
+	b.PublishStatus(st)
+	got, ok := b.Latest()
+	if !ok || got.Seq != 1 {
+		t.Fatalf("first publish: ok=%v seq=%d, want ok seq=1", ok, got.Seq)
+	}
+	b.PublishStatus(st)
+	got, _ = b.Latest()
+	if got.Seq != 2 {
+		t.Fatalf("second publish seq=%d, want 2", got.Seq)
+	}
+	// Mutating the returned copy must not leak into the board.
+	got.Shards[0].Shard = 99
+	again, _ := b.Latest()
+	if again.Shards[0].Shard != 0 {
+		t.Fatal("Latest returned a shared slice")
+	}
+	// Nil board is inert.
+	var nb *Board
+	nb.PublishStatus(st)
+	nb.PublishMetrics(nil, nil)
+	if _, ok := nb.Latest(); ok {
+		t.Fatal("nil board reported a status")
+	}
+}
+
+// TestStatusEndpoints covers /status and /metrics over HTTP: 503 before
+// any publish, correct payloads after.
+func TestStatusEndpoints(t *testing.T) {
+	board := NewBoard()
+	srv := httptest.NewServer(NewStatusServer(board, nil).Handler())
+	defer srv.Close()
+
+	for _, path := range []string{"/status", "/metrics"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s before publish: code %d, want 503", path, resp.StatusCode)
+		}
+	}
+
+	board.PublishStatus(newTestStatus())
+	board.PublishMetrics(map[string]int64{"engine.events_processed": 456},
+		map[string]HistSnapshot{"latency.e2e_ns": {Bounds: []float64{1000}, Counts: []int64{5}, Count: 7, Sum: 9000}})
+
+	resp, err := http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/status Content-Type = %q", ct)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Seq != 1 || st.VirtualNs != 123_000 || len(st.Shards) != 2 || st.Shards[1].Processed != 256 {
+		t.Errorf("/status decoded %+v", st)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); ct != ExpoContentType {
+		t.Errorf("/metrics Content-Type = %q, want %q", ct, ExpoContentType)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	n, err := ValidateExposition(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("/metrics failed validation: %v\n%s", err, body)
+	}
+	if n == 0 {
+		t.Fatal("/metrics had no samples")
+	}
+	if !strings.Contains(string(body), "prdrb_engine_events_processed 456") {
+		t.Errorf("/metrics missing scalar:\n%s", body)
+	}
+	if !strings.Contains(string(body), `prdrb_latency_e2e_ns_bucket{le="+Inf"} 7`) {
+		t.Errorf("/metrics missing +Inf bucket:\n%s", body)
+	}
+}
+
+// TestSSEFraming checks the /events stream emits correctly framed
+// server-sent events and only on Seq changes.
+func TestSSEFraming(t *testing.T) {
+	board := NewBoard()
+	board.PublishStatus(newTestStatus())
+	srv := httptest.NewServer(NewStatusServer(board, nil).Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/events?poll_ms=5", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+
+	readFrame := func() (event string, payload Status) {
+		t.Helper()
+		sc := bufio.NewScanner(resp.Body)
+		var dataLine string
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				dataLine = strings.TrimPrefix(line, "data: ")
+			case line == "" && dataLine != "":
+				if err := json.Unmarshal([]byte(dataLine), &payload); err != nil {
+					t.Fatalf("bad SSE payload %q: %v", dataLine, err)
+				}
+				return event, payload
+			}
+		}
+		t.Fatalf("stream ended without a complete frame: %v", sc.Err())
+		return "", Status{}
+	}
+
+	event, st := readFrame()
+	if event != "status" {
+		t.Errorf("frame event = %q, want status", event)
+	}
+	if st.Seq != 1 || st.VirtualNs != 123_000 {
+		t.Errorf("frame payload %+v", st)
+	}
+
+	// A second publish must produce exactly one more frame with the new Seq.
+	next := newTestStatus()
+	next.VirtualNs = 999_000
+	board.PublishStatus(next)
+	event, st = readFrame()
+	if event != "status" || st.Seq != 2 || st.VirtualNs != 999_000 {
+		t.Errorf("second frame: event=%q payload=%+v", event, st)
+	}
+}
+
+// TestWriteSSE pins the frame bytes.
+func TestWriteSSE(t *testing.T) {
+	rec := httptest.NewRecorder()
+	if err := writeSSE(rec, "status", map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := "event: status\ndata: {\"x\":1}\n\n"
+	if got := rec.Body.String(); got != want {
+		t.Errorf("frame = %q, want %q", got, want)
+	}
+}
+
+// TestLiveStatsNil checks the nil-safety contract of the progress feed.
+func TestLiveStatsNil(t *testing.T) {
+	var ls *LiveStats
+	ls.AddEvents(5)
+	ls.SetVirtual(10)
+	ls.AddRun()
+	real := &LiveStats{}
+	real.AddEvents(5)
+	real.AddEvents(3)
+	real.SetVirtual(42)
+	real.AddRun()
+	if real.Events.Load() != 8 || real.VirtualNs.Load() != 42 || real.Runs.Load() != 1 {
+		t.Errorf("LiveStats = %d/%d/%d", real.Events.Load(), real.VirtualNs.Load(), real.Runs.Load())
+	}
+}

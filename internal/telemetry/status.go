@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Live status plane. The simulation never serves HTTP from its own
+// goroutines: sampler actors (wired by the runner) evaluate simulation
+// state at deterministic virtual-time intervals, on the goroutine that
+// owns that state, and publish plain-data snapshots into a mutex-guarded
+// Board. HTTP handlers read only the Board, never live simulation state —
+// so the status server cannot race the hot path, and a simulation built
+// without a Board carries a nil handle and pays nothing.
+
+// ShardStatus is one shard engine's position within the conservative
+// parallel execution: its local virtual clock and the bounds of the
+// lookahead window it was last observed in. For a serial run there is a
+// single entry whose window spans the whole horizon.
+type ShardStatus struct {
+	Shard int `json:"shard"`
+	// AtNs is the shard's local virtual clock at sample time.
+	AtNs int64 `json:"at_ns"`
+	// WindowStartNs/WindowEndNs bound the barrier window the sample was
+	// taken in; WindowStartNs <= AtNs <= WindowEndNs always holds.
+	WindowStartNs int64 `json:"window_start_ns"`
+	WindowEndNs   int64 `json:"window_end_ns"`
+	// Processed is the shard's cumulative executed-event count.
+	Processed uint64 `json:"processed"`
+	// Pending is the shard's local queue length at sample time.
+	Pending int `json:"pending"`
+}
+
+// Status is one published snapshot of a running simulation.
+type Status struct {
+	// Seq increments with every publish; SSE clients use it to detect
+	// fresh snapshots.
+	Seq uint64 `json:"seq"`
+	// VirtualNs is the simulation clock at sample time (the barrier clock
+	// for sharded runs).
+	VirtualNs int64 `json:"virtual_ns"`
+	// EventsProcessed is the cumulative executed-event count.
+	EventsProcessed uint64 `json:"events_processed"`
+	// EventsPerSec is the wall-clock event rate, filled in by the server
+	// at serve time (the only wall-derived field; the sampler never reads
+	// the wall clock).
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Packet accounting: offered (injected), delivered and dropped so
+	// far, and packet records currently in flight.
+	OfferedPkts   int64 `json:"offered_pkts"`
+	DeliveredPkts int64 `json:"delivered_pkts"`
+	DroppedPkts   int64 `json:"dropped_pkts"`
+	InFlightPkts  int64 `json:"in_flight_pkts"`
+	// Fault state: links currently down or running degraded.
+	FailedLinks   int `json:"failed_links"`
+	DegradedLinks int `json:"degraded_links"`
+	// PR-DRB control state: metapaths currently open and the extra
+	// (alternative) paths they have injected.
+	OpenMetapaths  int `json:"open_metapaths"`
+	OpenExtraPaths int `json:"open_extra_paths"`
+	// QueuedBytes sums router queue occupancy at sample time.
+	QueuedBytes int64 `json:"queued_bytes"`
+	// Shards carries per-shard window positions (one entry for serial
+	// runs).
+	Shards []ShardStatus `json:"shards,omitempty"`
+	// RingDepths is the cross-shard handoff ring occupancy sampled at the
+	// last barrier, flattened src*N+dst. Empty for serial runs.
+	RingDepths []int `json:"ring_depths,omitempty"`
+}
+
+// Board is the handoff point between sampler actors and the HTTP server:
+// samplers publish under the lock, handlers copy out under the lock.
+// A nil *Board is inert — every method no-ops — so wiring stays nil-safe
+// like the Tracer.
+type Board struct {
+	mu      sync.Mutex
+	seq     uint64
+	status  Status
+	have    bool
+	scalars map[string]int64
+	hists   map[string]HistSnapshot
+}
+
+// NewBoard returns an empty board.
+func NewBoard() *Board { return &Board{} }
+
+// PublishStatus stores s as the latest snapshot, stamping its Seq.
+func (b *Board) PublishStatus(s Status) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.seq++
+	s.Seq = b.seq
+	b.status = s
+	b.have = true
+	b.mu.Unlock()
+}
+
+// PublishMetrics stores the latest registry snapshot for /metrics. The
+// maps are retained; callers must hand over ownership (snapshots are
+// freshly built per publish).
+func (b *Board) PublishMetrics(scalars map[string]int64, hists map[string]HistSnapshot) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.scalars = scalars
+	b.hists = hists
+	b.mu.Unlock()
+}
+
+// Latest returns the most recent status and whether one was ever
+// published.
+func (b *Board) Latest() (Status, bool) {
+	if b == nil {
+		return Status{}, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.status
+	// Copy the slices: the publisher may reuse backing arrays on the next
+	// tick, and handlers serialize outside the lock.
+	s.Shards = append([]ShardStatus(nil), s.Shards...)
+	s.RingDepths = append([]int(nil), s.RingDepths...)
+	return s, b.have
+}
+
+// Metrics returns the most recent registry snapshot (possibly nil maps if
+// none was published yet).
+func (b *Board) Metrics() (map[string]int64, map[string]HistSnapshot) {
+	if b == nil {
+		return nil, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.scalars, b.hists
+}
+
+// LiveStats is the cheap cross-goroutine progress feed: atomic counters a
+// simulation adds to at cold-path moments (run completion, barrier ticks)
+// and readers (the status server's rate estimator, the experiments
+// progress line) sample from any goroutine. A nil *LiveStats no-ops.
+type LiveStats struct {
+	// Events is the cumulative executed-event count across all runs.
+	Events atomic.Int64
+	// VirtualNs is the latest simulation clock reading.
+	VirtualNs atomic.Int64
+	// Runs counts completed experiment runs.
+	Runs atomic.Int64
+}
+
+// AddEvents folds a completed batch into the feed.
+func (l *LiveStats) AddEvents(n int64) {
+	if l == nil {
+		return
+	}
+	l.Events.Add(n)
+}
+
+// SetVirtual records the latest virtual clock.
+func (l *LiveStats) SetVirtual(ns int64) {
+	if l == nil {
+		return
+	}
+	l.VirtualNs.Store(ns)
+}
+
+// AddRun counts one completed run.
+func (l *LiveStats) AddRun() {
+	if l == nil {
+		return
+	}
+	l.Runs.Add(1)
+}

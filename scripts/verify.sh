@@ -51,4 +51,55 @@ shard_pkts=$(printf '%s\n' "$shard_out" | sed -n 's/.*pkts=\([0-9]*\).*/\1/p')
 }
 echo "    shards=4 delivered $shard_pkts pkts == serial"
 
+echo "==> observability smoke (-status endpoints + prdrbtrace analytics)"
+# A traced sharded run with the live plane up: scrape /metrics and
+# /status while the server lingers, validate the exposition with the
+# analytics CLI, then run the full report pipeline on the artifacts.
+go build -o "$teldir/prdrbtrace" ./cmd/prdrbtrace
+"$teldir/prdrbsim" -topology ft-4-3 -policy pr-drb -pattern shuffle \
+    -rate 600 -duration 300us -shards 2 -status 127.0.0.1:0 -status-linger 60s \
+    -trace "$teldir/obs.jsonl" -manifest "$teldir/obs-manifest.json" \
+    >"$teldir/obs.out" 2>"$teldir/obs.err" &
+obs_pid=$!
+# The run writes its artifacts before lingering; wait for the manifest
+# line so the board holds the final snapshot when we scrape.
+obs_up=""
+i=0
+while [ $i -lt 300 ]; do
+    if grep -q 'wrote manifest' "$teldir/obs.err" 2>/dev/null; then obs_up=1; break; fi
+    if ! kill -0 "$obs_pid" 2>/dev/null; then break; fi
+    i=$((i + 1))
+    sleep 0.1
+done
+[ -n "$obs_up" ] || {
+    echo "verify: observability run never finished" >&2
+    cat "$teldir/obs.err" >&2
+    kill "$obs_pid" 2>/dev/null || true
+    exit 1
+}
+status_addr=$(sed -n 's#.*status on http://\([^/]*\)/status.*#\1#p' "$teldir/obs.err")
+[ -n "$status_addr" ] || { echo "verify: no status address in stderr" >&2; kill "$obs_pid"; exit 1; }
+curl -fsS "http://$status_addr/metrics" >"$teldir/obs-metrics.txt"
+curl -fsS "http://$status_addr/status" >"$teldir/obs-status.json"
+kill "$obs_pid" 2>/dev/null || true
+wait "$obs_pid" 2>/dev/null || true
+"$teldir/prdrbtrace" metrics-validate "$teldir/obs-metrics.txt"
+# The snapshot must carry both shards' window positions and live totals.
+grep -q '"window_end_ns"' "$teldir/obs-status.json" || {
+    echo "verify: /status missing per-shard window positions" >&2
+    exit 1
+}
+grep -q '"delivered_pkts"' "$teldir/obs-status.json" || {
+    echo "verify: /status missing throughput totals" >&2
+    exit 1
+}
+"$teldir/prdrbtrace" validate -trace "$teldir/obs.jsonl" -manifest "$teldir/obs-manifest.json"
+"$teldir/prdrbtrace" report -trace "$teldir/obs.jsonl" -manifest "$teldir/obs-manifest.json" \
+    -heatmap-dir "$teldir/obs-heat" >"$teldir/obs-report.txt"
+grep -q '## causal decision summary' "$teldir/obs-report.txt" || {
+    echo "verify: report missing causal summary" >&2
+    exit 1
+}
+echo "    status scraped from $status_addr; exposition, trace and report validated"
+
 echo "==> verify OK"
