@@ -1,0 +1,149 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"prdrb"
+)
+
+// coll.* — the collectives research line (beyond the thesis): the paper
+// evaluates PR-DRB on trace-driven scientific codes; these presets ask the
+// follow-on question of how much predictive routing buys on the
+// collective-dominated traffic of distributed AI training, and whether the
+// answer depends on the Allreduce algorithm (ring keeps a fixed neighbor
+// ring busy for 2(n-1) steps — little pattern variety, much repetition —
+// while recursive doubling changes the pairing every round).
+
+func init() {
+	register("coll.allreduce", "Allreduce algorithms x sizes: PR-DRB vs DRB vs adaptive", collAllreduce)
+	register("coll.ai", "AI training workloads (DP/PP/hybrid): PR-DRB vs DRB vs adaptive", collAI)
+}
+
+// collPolicies is the comparison set: the oblivious adaptive baseline, the
+// reactive DRB, and the predictive PR-DRB.
+func collPolicies() []prdrb.Policy {
+	return []prdrb.Policy{prdrb.PolicyAdaptive, prdrb.PolicyDRB, prdrb.PolicyPRDRB}
+}
+
+// runCollTrace replays a hand-built trace under a policy on the standard
+// 64-node fat-tree (same harness as runApp, but for a *Trace instead of a
+// named workload).
+func runCollTrace(tr *prdrb.Trace, policy prdrb.Policy, seed uint64) appOutcome {
+	exp := prdrb.Experiment{
+		Topology: prdrb.FatTree(4, 3),
+		Policy:   policy,
+		Seed:     seed,
+		Shards:   1, // trace replay drives the engine directly: serial only
+	}
+	if cfg, ok := prdrb.TracePolicyConfig(policy); ok {
+		exp.DRB = &cfg
+	}
+	s := prdrb.MustNewSim(exp)
+	rep, err := s.PlayTrace(tr, nil)
+	if err != nil {
+		panic(err)
+	}
+	res := s.Execute(60 * prdrb.Second)
+	if err := rep.Err(); err != nil {
+		panic(err)
+	}
+	return appOutcome{res: res, exec: rep.ExecutionTime(), sim: s}
+}
+
+// allreduceTrace builds a repeated-Allreduce benchmark: iters rounds of
+// compute followed by one bytes-sized Allreduce under the named algorithm
+// over 64 ranks — the collective microbenchmark shape (OSU/NCCL-tests).
+func allreduceTrace(alg string, bytes, iters int) (*prdrb.Trace, error) {
+	b := prdrb.NewTraceBuilder(fmt.Sprintf("allreduce-%s-%d", alg, bytes), 64)
+	for it := 0; it < iters; it++ {
+		for r := 0; r < 64; r++ {
+			b.Compute(r, 20*prdrb.Microsecond)
+		}
+		if err := b.AllreduceAlg(alg, bytes); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+func collAllreduce(ctx *runCtx, w io.Writer) error {
+	iters := appIters(ctx, 6)
+	sizes := []int{16 * 1024, 256 * 1024}
+	fmt.Fprintf(w, "Repeated 64-rank Allreduce on the 4-ary 3-tree: execution time (us),\n")
+	fmt.Fprintf(w, "global latency (us) and metapaths opened per algorithm, size and policy.\n\n")
+	fmt.Fprintf(w, "%-20s %-8s %-10s %10s %12s %8s\n", "algorithm", "size", "policy", "exec(us)", "latency(us)", "paths")
+	type key struct {
+		alg    string
+		size   int
+		policy prdrb.Policy
+	}
+	execs := map[key]float64{}
+	for _, alg := range prdrb.AllreduceAlgorithms() {
+		for _, size := range sizes {
+			tr, err := allreduceTrace(alg, size, iters)
+			if err != nil {
+				return err
+			}
+			for _, p := range collPolicies() {
+				o := runCollTrace(tr, p, ctx.seeds[0])
+				execs[key{alg, size, p}] = o.exec.Micros()
+				fmt.Fprintf(w, "%-20s %-8s %-10s %10.1f %12.2f %8d\n",
+					alg, sizeLabel(size), p, o.exec.Micros(), o.res.GlobalLatencyUs, o.res.Stats.PathsOpened)
+			}
+		}
+	}
+	fmt.Fprintf(w, "\npr-drb exec-time gain vs the adaptive baseline:\n")
+	for _, alg := range prdrb.AllreduceAlgorithms() {
+		for _, size := range sizes {
+			ad := execs[key{alg, size, prdrb.PolicyAdaptive}]
+			pr := execs[key{alg, size, prdrb.PolicyPRDRB}]
+			fmt.Fprintf(w, "  %-20s %-8s %6.1f%%\n", alg, sizeLabel(size), prdrb.GainPct(ad, pr))
+		}
+	}
+	fmt.Fprintf(w, "\nexpected shape: the ring repeats one neighbor pattern 2(n-1) times per call —\n")
+	fmt.Fprintf(w, "prime territory for pattern reuse — while recursive doubling's pairing changes\n")
+	fmt.Fprintf(w, "every round, giving the predictor more distinct patterns to learn.\n")
+	return nil
+}
+
+func sizeLabel(bytes int) string {
+	if bytes >= 1024*1024 {
+		return fmt.Sprintf("%dM", bytes/(1024*1024))
+	}
+	return fmt.Sprintf("%dK", bytes/1024)
+}
+
+func collAI(ctx *runCtx, w io.Writer) error {
+	fmt.Fprintf(w, "AI training traffic on the 4-ary 3-tree: data parallelism (bucketed\n")
+	fmt.Fprintf(w, "gradient Allreduce), pipeline parallelism (microbatch chains), and the\n")
+	fmt.Fprintf(w, "dp x pp hybrid (per-stage sub-communicator Allreduce).\n\n")
+	fmt.Fprintf(w, "%-18s %-10s %10s %12s %10s\n", "workload", "policy", "exec(us)", "latency(us)", "reused")
+	type key struct {
+		app    string
+		policy prdrb.Policy
+	}
+	execs := map[key]float64{}
+	for _, app := range []string{"ai-dp-allreduce", "ai-pp-pipeline", "ai-dp-pp"} {
+		opt := prdrb.WorkloadOptions{Iterations: appIters(ctx, 4)}
+		for _, p := range collPolicies() {
+			o := runApp(app, p, ctx.seeds[0], opt, 0)
+			execs[key{app, p}] = o.exec.Micros()
+			fmt.Fprintf(w, "%-18s %-10s %10.1f %12.2f %10d\n",
+				app, p, o.exec.Micros(), o.res.GlobalLatencyUs, o.res.Stats.ReuseApplications)
+		}
+	}
+	fmt.Fprintf(w, "\npr-drb exec-time gain vs adaptive / vs drb:\n")
+	for _, app := range []string{"ai-dp-allreduce", "ai-pp-pipeline", "ai-dp-pp"} {
+		ad := execs[key{app, prdrb.PolicyAdaptive}]
+		drb := execs[key{app, prdrb.PolicyDRB}]
+		pr := execs[key{app, prdrb.PolicyPRDRB}]
+		fmt.Fprintf(w, "  %-18s %6.1f%% / %6.1f%%\n", app, prdrb.GainPct(ad, pr), prdrb.GainPct(drb, pr))
+	}
+	fmt.Fprintf(w, "\nreading: the dp job repeats one traffic pattern every step, so predictive reuse\n")
+	fmt.Fprintf(w, "fires constantly (see the reused column) — but well-balanced collectives leave\n")
+	fmt.Fprintf(w, "little contention for routing to remove, so the DRB family's ACK overhead can\n")
+	fmt.Fprintf(w, "outweigh the gains; the pipeline is nearest-neighbor chains where routing buys\n")
+	fmt.Fprintf(w, "little (the Sweep3D analogue). PR-DRB's edge needs irregular repetition.\n")
+	return nil
+}

@@ -9,7 +9,7 @@ import (
 
 // Every registered experiment id must be unique and match the id grammar.
 func TestRegistrySanity(t *testing.T) {
-	idRe := regexp.MustCompile(`^(table|fig|abl)[0-9A-Za-z.]*$`)
+	idRe := regexp.MustCompile(`^(table|fig|abl|coll)[0-9A-Za-z.]*$`)
 	seen := map[string]bool{}
 	if len(registry) < 40 {
 		t.Fatalf("registry has only %d experiments", len(registry))

@@ -55,6 +55,8 @@ func main() {
 
 		traceIn   = flag.String("replay", "", "replay a serialized workload trace file instead of -workload/-pattern")
 		traceOut  = flag.String("save-trace", "", "write the generated workload trace to this file and exit")
+		goalIn    = flag.String("goal", "", "replay a GOAL dependency-graph schedule file (runs on the serial engine regardless of -shards)")
+		goalOut   = flag.String("save-goal", "", "convert the -workload trace to a GOAL schedule, write it to this file and exit")
 		knowIn    = flag.String("knowledge", "", "preload a PR-DRB solution database (JSON) before the run")
 		knowOut   = flag.String("save-knowledge", "", "export the solution database after the run")
 		showMap   = flag.Bool("map", false, "print the latency surface map")
@@ -168,6 +170,45 @@ func main() {
 		fmt.Printf("wrote %s: %d ranks, %d events\n", *traceOut, tr.Ranks, tr.TotalEvents())
 		return
 	}
+	var loadedGoal *prdrb.Goal
+	if *goalIn != "" {
+		f, err := os.Open(*goalIn)
+		if err != nil {
+			fatal(err)
+		}
+		loadedGoal, err = prdrb.ReadGOAL(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *goalOut != "" {
+		if *workload == "" && loadedTrace == nil {
+			fatal(fmt.Errorf("-save-goal needs -workload or -replay"))
+		}
+		tr := loadedTrace
+		if tr == nil {
+			var err error
+			tr, err = prdrb.Workload(*workload, prdrb.WorkloadOptions{Iterations: *iters})
+			if err != nil {
+				fatal(err)
+			}
+		}
+		g, err := prdrb.GoalFromTrace(tr)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*goalOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := prdrb.WriteGOAL(f, g); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s: %d ranks, %d nodes\n", *goalOut, g.Ranks, g.TotalNodes())
+		return
+	}
 	if *provision {
 		tr := loadedTrace
 		if tr == nil {
@@ -189,13 +230,13 @@ func main() {
 	}
 
 	haveWork := 0
-	for _, set := range []bool{*pattern != "", *workload != "", loadedTrace != nil} {
+	for _, set := range []bool{*pattern != "", *workload != "", loadedTrace != nil, loadedGoal != nil} {
 		if set {
 			haveWork++
 		}
 	}
 	if haveWork != 1 {
-		fatal(fmt.Errorf("choose exactly one of -pattern, -workload or -trace"))
+		fatal(fmt.Errorf("choose exactly one of -pattern, -workload, -replay or -goal"))
 	}
 
 	var knowledge *prdrb.Knowledge
@@ -224,7 +265,7 @@ func main() {
 				burstGap: prdrb.Time((*burstGap).Nanoseconds()),
 				duration: prdrb.Time((*duration).Nanoseconds()),
 				workload: *workload, iters: *iters,
-				trace: loadedTrace, knowledge: knowledge,
+				trace: loadedTrace, goal: loadedGoal, knowledge: knowledge,
 				faults: *faultSpec, telemetry: tel, shards: *shards,
 			})
 			if err != nil {
@@ -339,6 +380,7 @@ type runSpec struct {
 	workload           string
 	iters              int
 	trace              *prdrb.Trace
+	goal               *prdrb.Goal
 	knowledge          *prdrb.Knowledge
 	faults             string
 	telemetry          *prdrb.Telemetry
@@ -347,7 +389,12 @@ type runSpec struct {
 
 func runOnce(topo prdrb.Topology, policy prdrb.Policy, seed uint64, spec runSpec) (*prdrb.Sim, prdrb.Results, prdrb.Time, error) {
 	exp := prdrb.Experiment{Topology: topo, Policy: policy, Seed: seed, Telemetry: spec.telemetry, Shards: spec.shards}
-	if spec.workload != "" || spec.trace != nil {
+	if spec.goal != nil {
+		// Goal replay drives the serial engine directly (like trace replay),
+		// so the run is identical for every -shards value.
+		exp.Shards = 1
+	}
+	if spec.workload != "" || spec.trace != nil || spec.goal != nil {
 		if cfg, ok := prdrb.TracePolicyConfig(policy); ok {
 			exp.DRB = &cfg
 		}
@@ -369,6 +416,17 @@ func runOnce(topo prdrb.Topology, policy prdrb.Policy, seed uint64, spec runSpec
 		if _, err := s.InstallFaults(plan); err != nil {
 			return nil, prdrb.Results{}, 0, err
 		}
+	}
+	if spec.goal != nil {
+		rep, err := s.PlayGoal(spec.goal, nil)
+		if err != nil {
+			return nil, prdrb.Results{}, 0, err
+		}
+		res := s.Execute(10 * prdrb.Second * prdrb.Time(1+spec.iters/10))
+		if err := rep.Err(); err != nil {
+			return nil, prdrb.Results{}, 0, err
+		}
+		return s, res, rep.ExecutionTime(), nil
 	}
 	if spec.workload != "" || spec.trace != nil {
 		tr := spec.trace

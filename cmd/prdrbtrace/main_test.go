@@ -44,6 +44,40 @@ func TestReportGolden(t *testing.T) {
 	}
 }
 
+// TestReportCollectivesGolden pins the collective phase breakdown over a
+// workload trace whose deliver events carry MPI types (fixed-seed ft-4-3
+// pr-drb nas-mg-s run, seed 7, 1-in-6 packet sampling): per-collective
+// p50/p99 completion latency, phase windows, and metapath opens
+// attributed to phases. Regenerate with -update.
+func TestReportCollectivesGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"report",
+		"-trace", "testdata/coll-run.jsonl",
+		"-manifest", "testdata/coll-run-manifest.json",
+		"-top", "5", "-timeline", "10"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report-coll.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("collectives report drifted from %s (rerun with -update if intended):\n--- got ---\n%s", golden, buf.String())
+	}
+	for _, phase := range []string{"send", "bcast", "reduce", "allreduce"} {
+		if !strings.Contains(buf.String(), phase) {
+			t.Errorf("phase breakdown missing %q:\n%s", phase, buf.String())
+		}
+	}
+}
+
 // TestReportByteIdentical is the determinism acceptance check: two
 // identical invocations — including heatmap emission — must produce
 // byte-identical reports and byte-identical CSVs.

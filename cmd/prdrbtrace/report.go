@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"prdrb/internal/metrics"
+	"prdrb/internal/network"
 	"prdrb/internal/sim"
 	"prdrb/internal/telemetry"
 )
@@ -70,6 +71,14 @@ type analysis struct {
 	dropped   int64
 	injected  int64
 
+	// Collective phase breakdown: deliver events carrying an MPI type,
+	// keyed by the §3.3.1 MPI_type header value, plus each phase's
+	// [first, last] deliver-timestamp window.
+	mpiHist         map[int]*metrics.Histogram
+	mpiFirst        map[int]int64
+	mpiLast         map[int]int64
+	untypedDelivers int64
+
 	// Metapath timeline.
 	timeline []timelineEntry
 
@@ -107,6 +116,9 @@ func analyze(events []telemetry.Event, windowNs int64) *analysis {
 		runs:       map[int]bool{},
 		windowNs:   windowNs,
 		flows:      map[flowKey]*metrics.Histogram{},
+		mpiHist:    map[int]*metrics.Histogram{},
+		mpiFirst:   map[int]int64{},
+		mpiLast:    map[int]int64{},
 		heat:       map[int]map[int64]*heatCell{},
 		satNodes:   map[int]bool{},
 		reliefNs:   metrics.NewHistogram(),
@@ -131,6 +143,18 @@ func analyze(events []telemetry.Event, windowNs int64) *analysis {
 				a.flows[k] = h
 			}
 			h.Observe(sim.Time(ev.Dur))
+			if ev.Mpi > 0 {
+				mh := a.mpiHist[ev.Mpi]
+				if mh == nil {
+					mh = metrics.NewHistogram()
+					a.mpiHist[ev.Mpi] = mh
+					a.mpiFirst[ev.Mpi] = ev.At
+				}
+				mh.Observe(sim.Time(ev.Dur))
+				a.mpiLast[ev.Mpi] = ev.At
+			} else {
+				a.untypedDelivers++
+			}
 		case telemetry.KindDrop:
 			a.dropped++
 		case telemetry.KindHop:
@@ -219,8 +243,45 @@ func (a *analysis) writeReport(w io.Writer, tracePath string, mf *telemetry.Mani
 		fmt.Fprintf(w, "manifest: %s seed=%d (schema ok)\n", mf.Name, mf.Seed)
 	}
 	a.writeFlowTable(w, top)
+	a.writeMpiPhases(w)
 	a.writeTimeline(w, timelineMax)
 	a.writeCausalSummary(w)
+}
+
+// writeMpiPhases prints per-MPI-type completion latency and attributes
+// metapath opens to collective phases: an open counts toward every phase
+// whose [first, last] deliver window contains its timestamp (overlapping
+// phases each claim it — the column answers "was the metapath machinery
+// active while this collective was on the wire?").
+func (a *analysis) writeMpiPhases(w io.Writer) {
+	fmt.Fprintf(w, "\n## collective phase breakdown\n")
+	if len(a.mpiHist) == 0 {
+		fmt.Fprintf(w, "(no MPI-typed deliver events in trace; synthetic traffic or a pre-mpi trace)\n")
+		return
+	}
+	types := make([]int, 0, len(a.mpiHist))
+	for ty := range a.mpiHist {
+		types = append(types, ty)
+	}
+	sort.Ints(types)
+	fmt.Fprintf(w, "%-16s %8s %10s %10s %24s %9s\n", "phase", "pkts", "p50_us", "p99_us", "window_us", "mp_opens")
+	for _, ty := range types {
+		h := a.mpiHist[ty]
+		first, last := a.mpiFirst[ty], a.mpiLast[ty]
+		opens := 0
+		for _, e := range a.timeline {
+			if e.open && e.at >= first && e.at <= last {
+				opens++
+			}
+		}
+		window := fmt.Sprintf("[%s..%s]", us(float64(first)), us(float64(last)))
+		fmt.Fprintf(w, "%-16s %8d %10s %10s %24s %9d\n",
+			network.MPITypeName(uint8(ty)), h.Count(),
+			us(h.Quantile(0.5)), us(h.Quantile(0.99)), window, opens)
+	}
+	if a.untypedDelivers > 0 {
+		fmt.Fprintf(w, "(untyped deliver events: %d)\n", a.untypedDelivers)
+	}
 }
 
 // writeFlowTable prints per-flow latency percentiles, busiest flows

@@ -146,7 +146,7 @@ func (n *NIC) accept(e *sim.Engine, pkt *Packet, _ *outPort, _ int) bool {
 			n.deliv.PacketDelivered(pkt.SizeBytes, e.Now()-pkt.CreatedAt, e.Now())
 		}
 		if n.sh.Tracer.Sampled(pkt.ID) {
-			n.sh.Tracer.PacketDelivered(e.Now(), pkt.ID, int(pkt.Src), int(pkt.Dst), e.Now()-pkt.CreatedAt)
+			n.sh.Tracer.PacketDelivered(e.Now(), pkt.ID, int(pkt.Src), int(pkt.Dst), e.Now()-pkt.CreatedAt, pkt.MPIType)
 		}
 		if n.net.Cfg.GenerateAcks {
 			n.sendAck(e, pkt)

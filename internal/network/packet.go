@@ -54,7 +54,47 @@ const (
 	MPIBarrier
 	MPISendrecv
 	MPIAlltoall
+	MPIReduceScatter
+	MPIAllgather
 )
+
+// MPITypeName names an MPI_type header value for reports ("?" for values
+// outside the known set; MPINone renders as "none").
+func MPITypeName(t uint8) string {
+	switch t {
+	case MPINone:
+		return "none"
+	case MPISend:
+		return "send"
+	case MPIIsend:
+		return "isend"
+	case MPIRecv:
+		return "recv"
+	case MPIIrecv:
+		return "irecv"
+	case MPIWait:
+		return "wait"
+	case MPIWaitall:
+		return "waitall"
+	case MPIBcast:
+		return "bcast"
+	case MPIReduce:
+		return "reduce"
+	case MPIAllreduce:
+		return "allreduce"
+	case MPIBarrier:
+		return "barrier"
+	case MPISendrecv:
+		return "sendrecv"
+	case MPIAlltoall:
+		return "alltoall"
+	case MPIReduceScatter:
+		return "reduce-scatter"
+	case MPIAllgather:
+		return "allgather"
+	}
+	return "?"
+}
 
 // Packet is the in-simulator representation of both wire formats of §3.3.1.
 // One Packet instance travels the whole network (no copying per hop); wire

@@ -499,6 +499,22 @@ func (s *Sim) PlayTrace(tr *trace.Trace, mapping []topology.NodeID) (*trace.Repl
 	return rep, nil
 }
 
+// PlayGoal prepares a dependency-graph (GOAL) replay on the simulation
+// (mapping nil = rank i on node i) and starts it at time 0. Like
+// PlayTrace it drives the serial engine directly, so it refuses sharded
+// simulations.
+func (s *Sim) PlayGoal(g *trace.Goal, mapping []topology.NodeID) (*trace.GoalReplay, error) {
+	if s.Net.Sharded() {
+		return nil, fmt.Errorf("prdrb: goal replay requires the serial engine (shards=1), got %d shards", s.Exp.Shards)
+	}
+	rep, err := trace.NewGoalReplay(s.Net, g, mapping)
+	if err != nil {
+		return nil, err
+	}
+	rep.Start(0)
+	return rep, nil
+}
+
 // Results summarizes a finished run.
 type Results struct {
 	Policy Policy

@@ -108,4 +108,9 @@ type Event struct {
 	// Val is the event's scalar payload (bytes, path count, DB size,
 	// contending-flow count, degrade factor in thousandths).
 	Val int64 `json:"val"`
+	// Mpi is the §3.3.1 MPI_type header value of the packet's logical MPI
+	// call for deliver events (network.MPITypeName names it); 0 for
+	// non-packet events, untyped packets and traces recorded before the
+	// field existed.
+	Mpi int `json:"mpi"`
 }

@@ -12,7 +12,7 @@ func TestForkAbsorbMerge(t *testing.T) {
 	a := parent.Fork()
 	b := parent.Fork()
 	a.PacketInjected(10, 1, 0, 1, 64)
-	a.PacketDelivered(30, 1, 0, 1, 20)
+	a.PacketDelivered(30, 1, 0, 1, 20, 0)
 	b.PacketInjected(10, 2, 2, 3, 64)
 	b.PacketInjected(20, 3, 2, 3, 64)
 	parent.Absorb([]*Tracer{a, b})

@@ -14,7 +14,7 @@ func TestNilTracerIsSafeAndFree(t *testing.T) {
 	tr.BeginRun("x")
 	tr.PacketInjected(0, 1, 0, 1, 64)
 	tr.PacketHop(0, 1, 0, 0, 0)
-	tr.PacketDelivered(0, 1, 0, 1, 0)
+	tr.PacketDelivered(0, 1, 0, 1, 0, 0)
 	tr.PacketDropped(0, 1, 0, 1, 0)
 	tr.Unreachable(0, 0, 1)
 	tr.Control(0, KindSaturation, 0, 1, 0, 0)
@@ -74,7 +74,7 @@ func buildSampleTrace() *Tracer {
 	tr.BeginRun("sample")
 	tr.PacketInjected(100, 7, 0, 15, 2048)
 	tr.PacketHop(250, 7, 3, 1, 50)
-	tr.PacketDelivered(900, 7, 0, 15, 800)
+	tr.PacketDelivered(900, 7, 0, 15, 800, 9)
 	tr.PacketInjected(120, 8, 2, 9, 64)
 	tr.PacketDropped(400, 8, 2, 9, 5)
 	tr.Unreachable(500, 4, 11)
@@ -309,7 +309,7 @@ func TestControlEventsCarryVirtualTimeOnly(t *testing.T) {
 		t.Fatal(err)
 	}
 	line := strings.TrimSpace(buf.String())
-	want := `{"at":1500,"run":0,"kind":"recovery","pkt":-1,"src":2,"dst":9,"router":-1,"port":-1,"dur":300,"val":0}`
+	want := `{"at":1500,"run":0,"kind":"recovery","pkt":-1,"src":2,"dst":9,"router":-1,"port":-1,"dur":300,"val":0,"mpi":0}`
 	if line != want {
 		t.Fatalf("serialized event drifted:\n got %s\nwant %s", line, want)
 	}

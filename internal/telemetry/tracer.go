@@ -106,13 +106,14 @@ func (t *Tracer) PacketHop(at sim.Time, pkt uint64, router, port int, wait sim.T
 		Src: -1, Dst: -1, Router: router, Port: port, Dur: int64(wait)})
 }
 
-// PacketDelivered records a packet reaching its destination NIC.
-func (t *Tracer) PacketDelivered(at sim.Time, pkt uint64, src, dst int, latency sim.Time) {
+// PacketDelivered records a packet reaching its destination NIC. mpi is
+// the packet's MPI_type header value (0 = untyped synthetic traffic).
+func (t *Tracer) PacketDelivered(at sim.Time, pkt uint64, src, dst int, latency sim.Time, mpi uint8) {
 	if t == nil {
 		return
 	}
 	t.emit(Event{At: int64(at), Kind: KindDeliver, Pkt: int64(pkt),
-		Src: src, Dst: dst, Router: -1, Port: -1, Dur: int64(latency)})
+		Src: src, Dst: dst, Router: -1, Port: -1, Dur: int64(latency), Mpi: int(mpi)})
 }
 
 // PacketDropped records a packet lost on a failed link at router.

@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestLoweringGolden pins the byte-exact collective lowerings. The golden
+// was generated with the hard-coded pre-library lowerings; the delegates
+// into internal/collectives must reproduce them exactly — same per-rank
+// event order, same sizes, same MPI tags — so every committed workload
+// golden downstream stays stable.
+//
+// The non-power-of-two section deliberately omits Allreduce/Barrier: their
+// fallback changed from reduce+bcast through rank 0 to the ring algorithm
+// (see TestAllreduceNonPow2Ring for the replacement's contract).
+func TestLoweringGolden(t *testing.T) {
+	var buf bytes.Buffer
+	b8 := NewBuilder("lowering-pin-8", 8)
+	b8.Bcast(2, 512)
+	b8.Reduce(1, 256)
+	b8.Allreduce(4096)
+	b8.Barrier()
+	b8.Alltoall(128)
+	if err := WriteTrace(&buf, b8.Build()); err != nil {
+		t.Fatal(err)
+	}
+	b12 := NewBuilder("lowering-pin-12", 12)
+	b12.Bcast(3, 512)
+	b12.Reduce(0, 256)
+	b12.Alltoall(128)
+	if err := WriteTrace(&buf, b12.Build()); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/lowering.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("collective lowerings drifted from the pre-refactor golden (%d vs %d bytes)",
+			buf.Len(), len(want))
+	}
+}

@@ -38,6 +38,11 @@ type Options struct {
 	// ComputeNs overrides the per-iteration compute time separating the
 	// communication bursts (what makes the traffic bursty, §2.2.3).
 	ComputeNs sim.Time
+	// Collective selects the MPI_Allreduce lowering algorithm for the
+	// workloads that let it vary (the ai-* generators):
+	// "ring", "recursive-doubling", "halving-doubling" or "reduce-bcast".
+	// Empty picks the communicator-size default.
+	Collective string
 }
 
 func (o Options) ranks() int {
@@ -646,6 +651,12 @@ func ByName(name string, opt Options) (*trace.Trace, error) {
 		return POP(opt)
 	case "sweep3d":
 		return Sweep3D(opt)
+	case "ai-dp-allreduce":
+		return AIDPAllreduce(opt)
+	case "ai-pp-pipeline":
+		return AIPPPipeline(opt)
+	case "ai-dp-pp":
+		return AIDPPP(opt)
 	}
 	return nil, fmt.Errorf("workloads: unknown workload %q", name)
 }
@@ -654,5 +665,6 @@ func ByName(name string, opt Options) (*trace.Trace, error) {
 func Names() []string {
 	return []string{"nas-lu", "nas-mg-s", "nas-mg-a", "nas-mg-b",
 		"nas-ft-a", "nas-ft-b", "smg2000",
-		"lammps-chain", "lammps-comb", "pop", "sweep3d"}
+		"lammps-chain", "lammps-comb", "pop", "sweep3d",
+		"ai-dp-allreduce", "ai-pp-pipeline", "ai-dp-pp"}
 }

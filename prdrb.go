@@ -79,6 +79,12 @@ type (
 	TraceBuilder = trace.Builder
 	// Replay drives the network from a trace.
 	Replay = trace.Replay
+	// Goal is a GOAL-style per-rank dependency-graph schedule.
+	Goal = trace.Goal
+	// GoalNode is one send/recv/calc node of a Goal graph.
+	GoalNode = trace.GoalNode
+	// GoalReplay drives the network from a dependency graph.
+	GoalReplay = trace.GoalReplay
 	// Collector aggregates the run's metrics.
 	Collector = metrics.Collector
 	// LatencyMap is the latency surface map of §4.2.

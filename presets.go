@@ -3,6 +3,7 @@ package prdrb
 import (
 	"io"
 
+	"prdrb/internal/collectives"
 	"prdrb/internal/core"
 	"prdrb/internal/network"
 	"prdrb/internal/phase"
@@ -52,6 +53,9 @@ const (
 	MPIBarrier   = network.MPIBarrier
 	MPISendrecv  = network.MPISendrecv
 	MPIAlltoall  = network.MPIAlltoall
+
+	MPIReduceScatter = network.MPIReduceScatter
+	MPIAllgather     = network.MPIAllgather
 )
 
 // NewTraceBuilder starts an MPI-style logical trace for the given number
@@ -71,6 +75,18 @@ func Workload(name string, opt WorkloadOptions) (*Trace, error) {
 
 // WorkloadNames lists the available application workloads.
 func WorkloadNames() []string { return workloads.Names() }
+
+// AllreduceAlgorithms lists the selectable MPI_Allreduce lowerings for
+// TraceBuilder.AllreduceAlg and WorkloadOptions.Collective.
+func AllreduceAlgorithms() []string { return collectives.AllreduceAlgorithms() }
+
+// AlltoallAlgorithms lists the selectable MPI_Alltoall lowerings for
+// TraceBuilder.AlltoallAlg.
+func AlltoallAlgorithms() []string { return collectives.AlltoallAlgorithms() }
+
+// DefaultAllreduceAlgorithm names the algorithm Allreduce lowers to for an
+// n-rank communicator when none is requested.
+func DefaultAllreduceAlgorithm(n int) string { return collectives.DefaultAllreduce(n) }
 
 // Seeds derives n reproducible seeds from a base, for the §4.3 multi-seed
 // methodology.
@@ -95,6 +111,17 @@ func WriteTrace(w io.Writer, tr *Trace) error { return trace.WriteTrace(w, tr) }
 
 // ReadTrace parses a trace written by WriteTrace.
 func ReadTrace(r io.Reader) (*Trace, error) { return trace.ReadTrace(r) }
+
+// WriteGOAL serializes a dependency-graph schedule in the GOAL-style text
+// format (send/recv/calc nodes with explicit `requires` edges).
+func WriteGOAL(w io.Writer, g *Goal) error { return trace.WriteGOAL(w, g) }
+
+// ReadGOAL parses and validates a GOAL-style schedule.
+func ReadGOAL(r io.Reader) (*Goal, error) { return trace.ReadGOAL(r) }
+
+// GoalFromTrace converts a sequential logical trace into an equivalent
+// dependency-graph schedule (nonblocking operations become overlap edges).
+func GoalFromTrace(tr *Trace) (*Goal, error) { return trace.GoalFromTrace(tr) }
 
 // ReadKnowledge parses a solution-database snapshot written by
 // Knowledge.WriteTo.

@@ -31,10 +31,12 @@ COUNT="${2:-3}"
 OUT=BENCH_hotpath.json
 PAROUT=BENCH_parallel.json
 
+HOST_CPUS=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
 echo "==> go test -bench BenchmarkHotPath -benchtime $BENCHTIME -count $COUNT"
 RAW=$(go test -run '^$' -bench BenchmarkHotPath -benchtime "$BENCHTIME" -count "$COUNT" -benchmem . | tee /dev/stderr)
 
-echo "$RAW" | awk -v benchtime="$BENCHTIME" '
+echo "$RAW" | awk -v benchtime="$BENCHTIME" -v cpus="$HOST_CPUS" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^BenchmarkHotPath/ {
     for (i = 1; i <= NF; i++) {
@@ -57,6 +59,7 @@ END {
     printf "  \"benchmark\": \"BenchmarkHotPath\",\n"
     printf "  \"scenario\": \"fat-tree 4-ary 3-tree (64 nodes), adaptive policy, uniform 800 Mbps, 1 ms injection + drain\",\n"
     printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"host_cpus\": %d,\n", cpus
     printf "  \"benchtime\": \"%s\",\n", benchtime
     printf "  \"baseline\": {\n"
     printf "    \"description\": \"closure-heap engine before the typed-event refactor (same machine class, go1.24 linux/amd64)\",\n"
@@ -80,8 +83,6 @@ END {
 
 echo "==> wrote $OUT"
 cat "$OUT"
-
-HOST_CPUS=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 
 echo "==> go test -bench BenchmarkParallelShards -benchtime $BENCHTIME -count $COUNT"
 PARRAW=$(go test -run '^$' -bench BenchmarkParallelShards -benchtime "$BENCHTIME" -count "$COUNT" . | tee /dev/stderr)

@@ -12,6 +12,7 @@ FUZZTIME="${1:-30s}"
 # target:package pairs — `go test -fuzz` accepts one target per run.
 for entry in \
     FuzzReadTrace:./internal/trace \
+    FuzzReadGOAL:./internal/trace \
     FuzzDecodeHeader:./internal/network \
 ; do
     target=${entry%%:*}

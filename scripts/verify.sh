@@ -51,6 +51,26 @@ shard_pkts=$(printf '%s\n' "$shard_out" | sed -n 's/.*pkts=\([0-9]*\).*/\1/p')
 }
 echo "    shards=4 delivered $shard_pkts pkts == serial"
 
+echo "==> collectives smoke (workload -> GOAL schedule -> shard-invariant replay)"
+# Convert an AI-training workload to a GOAL dependency-graph schedule,
+# replay the schedule, and check the run summary. GOAL replay always runs
+# on the serial engine, so -shards 1 and -shards 4 must print the exact
+# same summary — byte-identical output is part of the contract.
+"$teldir/prdrbsim" -topology ft-4-3 -policy pr-drb -workload ai-dp-allreduce -iters 2 \
+    -save-goal "$teldir/step.goal" >/dev/null
+goal_s1=$("$teldir/prdrbsim" -topology ft-4-3 -policy pr-drb -goal "$teldir/step.goal" -shards 1)
+goal_s4=$("$teldir/prdrbsim" -topology ft-4-3 -policy pr-drb -goal "$teldir/step.goal" -shards 4)
+[ "$goal_s1" = "$goal_s4" ] || {
+    echo "verify: GOAL replay differs across -shards:" >&2
+    printf 'shards=1: %s\nshards=4: %s\n' "$goal_s1" "$goal_s4" >&2
+    exit 1
+}
+printf '%s\n' "$goal_s1" | grep -q 'exec=' || {
+    echo "verify: GOAL replay summary missing execution time: $goal_s1" >&2
+    exit 1
+}
+echo "    GOAL replay summary identical at shards=1 and shards=4"
+
 echo "==> observability smoke (-status endpoints + prdrbtrace analytics)"
 # A traced sharded run with the live plane up: scrape /metrics and
 # /status while the server lingers, validate the exposition with the
