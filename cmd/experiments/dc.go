@@ -1,0 +1,143 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"prdrb"
+)
+
+// Datacenter presets (dc.*). The paper evaluates PR-DRB on HPC
+// permutations and MPI application traces; datacenter fabrics see a very
+// different offered load — heavy-tailed flow sizes (most flows tiny, most
+// bytes in elephants), ON/OFF bursty arrivals, and strong rack/group
+// locality. The dc.* experiments put the policy family under that load on
+// the two datacenter topologies (dragonfly, full-bisection folded Clos)
+// and ask: does predictive path balancing still pay when congestion comes
+// from skewed short-flow traffic instead of stable permutation conflicts?
+
+func init() {
+	register("dc.dragonfly", "Heavy-tail skewed load on a dragonfly (adaptive/DRB/PR-DRB)", dcDragonfly)
+	register("dc.clos", "Heavy-tail skewed load on a folded Clos (adaptive/DRB/PR-DRB)", dcClos)
+}
+
+type dcResult struct {
+	mean, p50, p99, peak float64
+	saved, reused        float64
+	err                  error
+}
+
+// dcMeasure runs one policy across the harness seeds and averages the
+// latency view (mean, percentiles, hottest-router contention).
+func dcMeasure(ctx *runCtx, topo func() prdrb.Topology, policy prdrb.Policy, spec prdrb.HeavyTailSpec) dcResult {
+	outs := parMap(ctx.seeds, func(seed uint64) dcResult {
+		s := prdrb.MustNewSim(prdrb.Experiment{
+			Topology: topo(), Policy: policy, Seed: seed,
+			SeriesWindow: 50 * prdrb.Microsecond,
+		})
+		if err := s.InstallHeavyTail(spec); err != nil {
+			return dcResult{err: err}
+		}
+		res := s.Execute(spec.End + prdrb.Second)
+		if res.AcceptedRatio != 1 {
+			return dcResult{err: fmt.Errorf("%s lost traffic (accepted %.3f)", policy, res.AcceptedRatio)}
+		}
+		return dcResult{
+			mean: res.GlobalLatencyUs, p50: res.P50Us, p99: res.P99Us, peak: res.PeakContentionUs,
+			saved: float64(res.SavedPatterns), reused: float64(res.Stats.ReuseApplications),
+		}
+	})
+	var agg dcResult
+	for _, o := range outs {
+		if o.err != nil {
+			return o
+		}
+		agg.mean += o.mean
+		agg.p50 += o.p50
+		agg.p99 += o.p99
+		agg.peak += o.peak
+		agg.saved += o.saved
+		agg.reused += o.reused
+	}
+	n := float64(len(outs))
+	agg.mean /= n
+	agg.p50 /= n
+	agg.p99 /= n
+	agg.peak /= n
+	agg.saved /= n
+	agg.reused /= n
+	return agg
+}
+
+// dcCompare renders the three-policy comparison table plus the gain
+// statement, and emits the plot CSV (one row per policy).
+func dcCompare(ctx *runCtx, w io.Writer, name, fabric string, topo func() prdrb.Topology, spec prdrb.HeavyTailSpec) error {
+	policies := []prdrb.Policy{prdrb.PolicyAdaptive, prdrb.PolicyDRB, prdrb.PolicyPRDRB}
+	fmt.Fprintf(w, "%s\n%s flow sizes, ON/OFF arrivals, grouplocal p=%.1f, %.0f Mbps/node over %.0f us\n\n",
+		fabric, spec.CDF, spec.PLocal, spec.LoadMbps, float64(spec.End)/float64(prdrb.Microsecond))
+	fmt.Fprintf(w, "%-14s %10s %10s %10s %12s %8s %8s\n", "policy", "mean us", "p50 us", "p99 us", "peak us", "saved", "reused")
+	got := map[prdrb.Policy]dcResult{}
+	var rows [][]float64
+	for i, p := range policies {
+		r := dcMeasure(ctx, topo, p, spec)
+		if r.err != nil {
+			return r.err
+		}
+		got[p] = r
+		fmt.Fprintf(w, "%-14s %10.2f %10.2f %10.2f %12.2f %8.0f %8.0f\n", p, r.mean, r.p50, r.p99, r.peak, r.saved, r.reused)
+		rows = append(rows, []float64{float64(i), r.mean, r.p50, r.p99, r.peak, r.saved, r.reused})
+	}
+	if err := ctx.writeCSV("series-"+name, []string{"policy_idx", "mean_us", "p50_us", "p99_us", "peak_us", "saved", "reused"}, rows); err != nil {
+		return err
+	}
+	ad, drb, pr := got[prdrb.PolicyAdaptive], got[prdrb.PolicyDRB], got[prdrb.PolicyPRDRB]
+	fmt.Fprintf(w, "\nPR-DRB vs adaptive: %+.1f%% mean, %+.1f%% p99\n",
+		prdrb.GainPct(ad.mean, pr.mean), prdrb.GainPct(ad.p99, pr.p99))
+	fmt.Fprintf(w, "PR-DRB vs DRB:      %+.1f%% mean, %+.1f%% p99\n",
+		prdrb.GainPct(drb.mean, pr.mean), prdrb.GainPct(drb.p99, pr.p99))
+	fmt.Fprintf(w, "\nPositive = PR-DRB lower. Group-local skew concentrates load on the\n")
+	fmt.Fprintf(w, "intra-group links, so the win (or loss) shows whether metapath balancing\n")
+	fmt.Fprintf(w, "helps when hotspots churn at flow timescales instead of burst timescales.\n")
+	return nil
+}
+
+// dcDragonfly: cache-style short flows with rack locality on a dragonfly.
+// Full mode uses df-4-9-2-2 (72 nodes, every group linked); quick mode a
+// 40-node df-4-5-1-2. Group size defaults to the dragonfly rack (a*p).
+func dcDragonfly(ctx *runCtx, w io.Writer) error {
+	topo := func() prdrb.Topology { return prdrb.Dragonfly(4, 9, 2, 2) }
+	label := "dragonfly df-4-9-2-2 (72 nodes, 2 VCs via global-link datelines)"
+	spec := prdrb.HeavyTailSpec{
+		CDF: "cache", Pattern: "grouplocal", PLocal: 0.7,
+		LoadMbps: 400,
+		OnMean:   200 * prdrb.Microsecond, OffMean: 100 * prdrb.Microsecond,
+		End: 1500 * prdrb.Microsecond,
+	}
+	if ctx.quick {
+		topo = func() prdrb.Topology { return prdrb.Dragonfly(4, 5, 1, 2) }
+		label = "dragonfly df-4-5-1-2 (40 nodes, quick)"
+		spec.End = 300 * prdrb.Microsecond
+	}
+	return dcCompare(ctx, w, "dc-dragonfly", label, topo, spec)
+}
+
+// dcClos: web-search flow sizes (truncated at 256 KB so the elephant tail
+// stays tractable) on the full-bisection folded Clos. Full mode uses the
+// 512-host clos-16; quick mode the 64-host clos-8.
+func dcClos(ctx *runCtx, w io.Writer) error {
+	topo := func() prdrb.Topology { return prdrb.Clos(16) }
+	label := "folded Clos clos-16 (512 hosts, full bisection)"
+	spec := prdrb.HeavyTailSpec{
+		CDF: "websearch", MaxFlowBytes: 256 * 1024,
+		Pattern: "grouplocal", PLocal: 0.5,
+		LoadMbps: 300,
+		OnMean:   200 * prdrb.Microsecond, OffMean: 100 * prdrb.Microsecond,
+		End: 1000 * prdrb.Microsecond,
+	}
+	if ctx.quick {
+		topo = func() prdrb.Topology { return prdrb.Clos(8) }
+		label = "folded Clos clos-8 (64 hosts, quick)"
+		spec.End = 300 * prdrb.Microsecond
+	}
+	return dcCompare(ctx, w, "dc-clos", label, topo, spec)
+}

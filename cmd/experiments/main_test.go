@@ -9,7 +9,7 @@ import (
 
 // Every registered experiment id must be unique and match the id grammar.
 func TestRegistrySanity(t *testing.T) {
-	idRe := regexp.MustCompile(`^(table|fig|abl|coll)[0-9A-Za-z.]*$`)
+	idRe := regexp.MustCompile(`^(table|fig|abl|coll|dc)[0-9A-Za-z.]*$`)
 	seen := map[string]bool{}
 	if len(registry) < 40 {
 		t.Fatalf("registry has only %d experiments", len(registry))
@@ -48,7 +48,7 @@ func TestSeedList(t *testing.T) {
 // non-trivial reports.
 func TestQuickExperimentsSmoke(t *testing.T) {
 	ctx := &runCtx{seeds: seedList(1), quick: true}
-	for _, id := range []string{"table4.1", "table2.1", "fig2.12", "fig4.08", "abl.maxpaths"} {
+	for _, id := range []string{"table4.1", "table2.1", "fig2.12", "fig4.08", "abl.maxpaths", "dc.dragonfly"} {
 		var found *experiment
 		for i := range registry {
 			if registry[i].id == id {

@@ -22,7 +22,6 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
@@ -34,7 +33,7 @@ import (
 
 func main() {
 	var (
-		topoSpec = flag.String("topology", "ft-4-3", "mesh-WxH, torus-WxH or ft-K-N")
+		topoSpec = flag.String("topology", "ft-4-3", "topology spec: "+strings.Join(prdrb.TopologySpecForms(), ", "))
 		policies = flag.String("policy", "pr-drb", "comma-separated policy list: deterministic,random,cyclic,adaptive,drb,pr-drb,fr-drb,pr-fr-drb")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		seeds    = flag.Int("seeds", 1, "number of seeds to average")
@@ -76,7 +75,16 @@ func main() {
 
 		checkTrace    = flag.String("validate-trace", "", "validate a JSONL telemetry trace against its schema and exit")
 		checkManifest = flag.String("validate-manifest", "", "validate a run-manifest file against its schema and exit")
+
+		heavytail = flag.String("heavytail", "", "heavy-tailed flow workload by flow-size CDF: websearch|datamining|cache (uses -rate as per-node load and -duration as the window)")
+		htPattern = flag.String("ht-pattern", "uniform", "heavy-tail destination pattern: uniform|grouplocal")
+		htPLocal  = flag.Float64("ht-plocal", 0.5, "grouplocal fraction of intra-group flows")
+		htGroup   = flag.Int("ht-group", 0, "grouplocal group width in nodes (0 = derive from topology)")
+		htOn      = flag.Duration("ht-on", 200*time.Microsecond, "mean ON burst duration")
+		htOff     = flag.Duration("ht-off", 0, "mean OFF silence duration (0 = always on)")
+		htMaxFlow = flag.Int("ht-maxflow", 0, "truncate the flow-size CDF at this many bytes (0 = no cap)")
 	)
+	flag.StringVar(topoSpec, "topo", "ft-4-3", "alias for -topology")
 	flag.Parse()
 	wallStart := time.Now()
 
@@ -230,13 +238,13 @@ func main() {
 	}
 
 	haveWork := 0
-	for _, set := range []bool{*pattern != "", *workload != "", loadedTrace != nil, loadedGoal != nil} {
+	for _, set := range []bool{*pattern != "", *workload != "", loadedTrace != nil, loadedGoal != nil, *heavytail != ""} {
 		if set {
 			haveWork++
 		}
 	}
 	if haveWork != 1 {
-		fatal(fmt.Errorf("choose exactly one of -pattern, -workload, -replay or -goal"))
+		fatal(fmt.Errorf("choose exactly one of -pattern, -workload, -replay, -goal or -heavytail"))
 	}
 
 	var knowledge *prdrb.Knowledge
@@ -267,6 +275,11 @@ func main() {
 				workload: *workload, iters: *iters,
 				trace: loadedTrace, goal: loadedGoal, knowledge: knowledge,
 				faults: *faultSpec, telemetry: tel, shards: *shards,
+				heavytail: *heavytail, htPattern: *htPattern,
+				htPLocal: *htPLocal, htGroup: *htGroup,
+				htOn:      prdrb.Time((*htOn).Nanoseconds()),
+				htOff:     prdrb.Time((*htOff).Nanoseconds()),
+				htMaxFlow: *htMaxFlow,
 			})
 			if err != nil {
 				fatal(err)
@@ -385,6 +398,12 @@ type runSpec struct {
 	faults             string
 	telemetry          *prdrb.Telemetry
 	shards             int
+	heavytail          string
+	htPattern          string
+	htPLocal           float64
+	htGroup            int
+	htOn, htOff        prdrb.Time
+	htMaxFlow          int
 }
 
 func runOnce(topo prdrb.Topology, policy prdrb.Policy, seed uint64, spec runSpec) (*prdrb.Sim, prdrb.Results, prdrb.Time, error) {
@@ -446,6 +465,17 @@ func runOnce(topo prdrb.Topology, policy prdrb.Policy, seed uint64, spec runSpec
 		}
 		return s, res, rep.ExecutionTime(), nil
 	}
+	if spec.heavytail != "" {
+		if err := s.InstallHeavyTail(prdrb.HeavyTailSpec{
+			CDF: spec.heavytail, MaxFlowBytes: spec.htMaxFlow,
+			Pattern: spec.htPattern, GroupSize: spec.htGroup, PLocal: spec.htPLocal,
+			LoadMbps: spec.rate, OnMean: spec.htOn, OffMean: spec.htOff,
+			Start: 0, End: spec.duration,
+		}); err != nil {
+			return nil, prdrb.Results{}, 0, err
+		}
+		return s, s.Execute(spec.duration + prdrb.Second), 0, nil
+	}
 	if spec.bursts > 0 {
 		end, err := s.InstallBursts(prdrb.BurstSpec{
 			Pattern: spec.pattern, RateMbps: spec.rate,
@@ -466,37 +496,15 @@ func runOnce(topo prdrb.Topology, policy prdrb.Policy, seed uint64, spec runSpec
 	return s, s.Execute(spec.duration + prdrb.Second), 0, nil
 }
 
-// parseTopology reads "mesh-8x8", "torus-4x4" or "ft-4-3".
-func parseTopology(spec string) (prdrb.Topology, error) {
-	switch {
-	case strings.HasPrefix(spec, "mesh-"), strings.HasPrefix(spec, "torus-"):
-		kind, dims, _ := strings.Cut(spec, "-")
-		ws, hs, ok := strings.Cut(dims, "x")
-		if !ok {
-			return nil, fmt.Errorf("want %s-WxH, got %q", kind, spec)
+// parseTopology resolves the spec through the topology registry,
+// converting constructor panics (bad dimensions) into CLI errors.
+func parseTopology(spec string) (t prdrb.Topology, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			t, err = nil, fmt.Errorf("%v", r)
 		}
-		w, err1 := strconv.Atoi(ws)
-		h, err2 := strconv.Atoi(hs)
-		if err1 != nil || err2 != nil {
-			return nil, fmt.Errorf("bad dimensions in %q", spec)
-		}
-		if kind == "torus" {
-			return prdrb.Torus(w, h), nil
-		}
-		return prdrb.Mesh(w, h), nil
-	case strings.HasPrefix(spec, "ft-"):
-		parts := strings.Split(spec, "-")
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("want ft-K-N, got %q", spec)
-		}
-		k, err1 := strconv.Atoi(parts[1])
-		n, err2 := strconv.Atoi(parts[2])
-		if err1 != nil || err2 != nil {
-			return nil, fmt.Errorf("bad arity/levels in %q", spec)
-		}
-		return prdrb.FatTree(k, n), nil
-	}
-	return nil, fmt.Errorf("unknown topology %q (mesh-WxH, torus-WxH, ft-K-N)", spec)
+	}()
+	return prdrb.TopologyByName(spec)
 }
 
 func summarize(xs []float64) (mean, ci float64) {

@@ -118,7 +118,7 @@ func cmdReport(args []string, stdout io.Writer) error {
 	r := analyze(events, sim64(*window))
 	r.writeReport(stdout, *tracePath, mf, *top, *timeline)
 	if *heatmapDir != "" {
-		files, err := r.writeHeatmaps(*heatmapDir)
+		files, err := r.writeHeatmaps(*heatmapDir, routerLabeler(mf))
 		if err != nil {
 			return err
 		}

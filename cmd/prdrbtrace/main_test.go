@@ -118,14 +118,18 @@ func TestReportByteIdentical(t *testing.T) {
 }
 
 // TestHeatmapGolden pins one router's contention CSV: the
-// results/series-*.csv shape (t_us first column, 4-decimal floats).
+// results/series-*.csv shape (t_us first column, 4-decimal floats), with
+// files keyed by the manifest topology's RouterLabel ("L0.S00" is switch
+// 0 of the ft-4-2 the testdata trace was recorded on).
 func TestHeatmapGolden(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer
-	if err := run([]string{"report", "-trace", "testdata/run.jsonl", "-heatmap-dir", dir}, &buf); err != nil {
+	args := []string{"report", "-trace", "testdata/run.jsonl",
+		"-manifest", "testdata/run-manifest.json", "-heatmap-dir", dir}
+	if err := run(args, &buf); err != nil {
 		t.Fatal(err)
 	}
-	got, err := os.ReadFile(filepath.Join(dir, "series-trace-router-0.csv"))
+	got, err := os.ReadFile(filepath.Join(dir, "series-trace-router-L0.S00.csv"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,6 +151,33 @@ func TestHeatmapGolden(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "heatmap: wrote ") {
 		t.Errorf("report missing heatmap summary line:\n%s", buf.String())
+	}
+}
+
+// TestHeatmapNumericFallback: without a manifest there is no topology to
+// label routers with, so filenames fall back to the numeric router id.
+func TestHeatmapNumericFallback(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"report", "-trace", "testdata/run.jsonl", "-heatmap-dir", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "series-trace-router-0.csv")); err != nil {
+		t.Fatalf("numeric fallback CSV missing: %v", err)
+	}
+}
+
+func TestSanitizeLabel(t *testing.T) {
+	cases := map[string]string{
+		"(3,1)":   "3-1",
+		"G02.R03": "G02.R03",
+		"L1.S04":  "L1.S04",
+		"a b/c":   "a-b-c",
+	}
+	for in, want := range cases {
+		if got := sanitizeLabel(in); got != want {
+			t.Errorf("sanitizeLabel(%q) = %q, want %q", in, got, want)
+		}
 	}
 }
 

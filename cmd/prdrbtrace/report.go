@@ -13,6 +13,7 @@ import (
 	"prdrb/internal/network"
 	"prdrb/internal/sim"
 	"prdrb/internal/telemetry"
+	"prdrb/internal/topology"
 )
 
 // Trace analysis. Everything here is a pure function of the (time-sorted)
@@ -376,8 +377,10 @@ func (a *analysis) writeCausalSummary(w io.Writer) {
 // writeHeatmaps emits one contention CSV per router with hop events, in
 // the results/series-*.csv shape: a t_us column (window end) and the
 // window's average queue wait in microseconds, 4-decimal fixed floats.
-// Returns the number of files written.
-func (a *analysis) writeHeatmaps(dir string) (int, error) {
+// Files are keyed by the topology's RouterLabel (via label), so the same
+// analysis pipeline names routers "G02.R03" on a dragonfly, "L1.S04" on a
+// fat-tree and "3-1" on a mesh. Returns the number of files written.
+func (a *analysis) writeHeatmaps(dir string, label func(int) string) (int, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return 0, err
 	}
@@ -403,10 +406,49 @@ func (a *analysis) writeHeatmaps(dir string) (int, error) {
 			sb.WriteString(strconv.FormatFloat(c.sum/float64(c.n)/1e3, 'f', 4, 64))
 			sb.WriteByte('\n')
 		}
-		path := filepath.Join(dir, fmt.Sprintf("series-trace-router-%d.csv", r))
+		path := filepath.Join(dir, fmt.Sprintf("series-trace-router-%s.csv", label(r)))
 		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
 			return 0, err
 		}
 	}
 	return len(routers), nil
+}
+
+// routerLabeler resolves the manifest's topology spec through the
+// registry and returns a filename-safe RouterLabel mapper. Without a
+// manifest (or with an unresolvable spec) it falls back to the numeric
+// router id, so reports over foreign traces still work.
+func routerLabeler(mf *telemetry.Manifest) func(int) string {
+	var topo topology.Topology
+	if mf != nil {
+		if spec, ok := mf.Config["topology"].(string); ok {
+			func() {
+				defer func() { recover() }() // bad dims in a hand-edited manifest
+				if t, err := topology.ByName(spec); err == nil {
+					topo = t
+				}
+			}()
+		}
+	}
+	return func(r int) string {
+		if topo != nil && r >= 0 && r < topo.NumRouters() {
+			return sanitizeLabel(topo.RouterLabel(topology.RouterID(r)))
+		}
+		return strconv.Itoa(r)
+	}
+}
+
+// sanitizeLabel keeps router labels filename-safe: runes outside
+// [A-Za-z0-9._-] become '-', and bounding dashes are trimmed (a mesh's
+// "(3,1)" becomes "3-1").
+func sanitizeLabel(s string) string {
+	mapped := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '-'
+	}, s)
+	return strings.Trim(mapped, "-")
 }

@@ -1,0 +1,114 @@
+package prdrb
+
+import (
+	"fmt"
+	"testing"
+
+	"prdrb/internal/sim"
+	"prdrb/internal/topology"
+)
+
+// heavyTailScenario is the datacenter-traffic determinism preset: heavy-tail
+// flow sizes with ON/OFF arrivals and group locality on a dragonfly, the
+// exact workload family the dc.* experiments run at scale.
+func runHeavyTailScenario(t *testing.T, shards int) (string, flowCount) {
+	t.Helper()
+	s := MustNewSim(Experiment{
+		Topology: Dragonfly(4, 5, 1, 2), // 40 nodes, 2 VCs via global datelines
+		Policy:   PolicyPRDRB,
+		Seed:     7,
+		Shards:   shards,
+	})
+	perDst := make([]flowCount, len(s.Net.NICs))
+	for i := range s.Net.NICs {
+		dst := NodeID(i)
+		fc := flowCount{}
+		perDst[i] = fc
+		s.Net.NICs[i].OnMessage = func(_ *sim.Engine, src topology.NodeID, _ uint64, _ int, _ uint8, _ uint32) {
+			fc[[2]NodeID{src, dst}]++
+		}
+	}
+	spec := HeavyTailSpec{
+		CDF: "cache", Pattern: "grouplocal", PLocal: 0.7,
+		LoadMbps: 1000,
+		OnMean:   150 * Microsecond, OffMean: 80 * Microsecond,
+		End: 300 * Microsecond,
+	}
+	if err := s.InstallHeavyTail(spec); err != nil {
+		t.Fatal(err)
+	}
+	res := s.Execute(spec.End + Second)
+	delivered := flowCount{}
+	for _, fc := range perDst {
+		for k, n := range fc {
+			delivered[k] += n
+		}
+	}
+	if len(delivered) == 0 {
+		t.Fatalf("shards=%d: heavy-tail workload delivered nothing", shards)
+	}
+	summary := fmt.Sprintf("%s p50=%.3f p99=%.3f dropped=%d offered=%d accepted=%d",
+		res.String(), res.P50Us, res.P99Us, res.DroppedPkts,
+		s.Collector.Throughput.OfferedPkts, s.Collector.Throughput.AcceptedPkts)
+	return summary, delivered
+}
+
+// TestHeavyTailShardOneMatchesSerial: Shards=1 must take the historical
+// serial path for the heavy-tail generators too — byte-identical summary
+// and delivered-flow fingerprint versus the default (unsharded) build.
+func TestHeavyTailShardOneMatchesSerial(t *testing.T) {
+	serial, serialFlows := runHeavyTailScenario(t, 0)
+	one, oneFlows := runHeavyTailScenario(t, 1)
+	if serial != one {
+		t.Fatalf("Shards=1 diverged from serial under heavy-tail traffic:\nserial: %s\nshards=1: %s", serial, one)
+	}
+	if serialFlows.String() != oneFlows.String() {
+		t.Fatal("Shards=1 delivered different heavy-tail flows than serial")
+	}
+}
+
+// TestHeavyTailDeterminismAcrossGOMAXPROCS: for each shard count the
+// realized heavy-tail run must not depend on how many OS threads the shard
+// group gets — summaries and delivered flows byte-identical at 1 vs 4.
+func TestHeavyTailDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		var refSummary, refFlows string
+		for _, procs := range []int{1, 4} {
+			var summary string
+			var flows flowCount
+			withGOMAXPROCS(procs, func() {
+				summary, flows = runHeavyTailScenario(t, shards)
+			})
+			if procs == 1 {
+				refSummary, refFlows = summary, flows.String()
+				continue
+			}
+			if summary != refSummary {
+				t.Errorf("shards=%d: heavy-tail summary differs across GOMAXPROCS\n 1: %s\n%d: %s",
+					shards, refSummary, procs, summary)
+			}
+			if flows.String() != refFlows {
+				t.Errorf("shards=%d: heavy-tail delivered flows differ across GOMAXPROCS", shards)
+			}
+		}
+	}
+}
+
+// TestHeavyTailShardCountEquivalence: the generators draw per-node RNG
+// streams and self-schedule on each node's own engine, so the offered (and
+// on a lossless run, delivered) flow set is identical regardless of how
+// the fabric is partitioned.
+func TestHeavyTailShardCountEquivalence(t *testing.T) {
+	var ref string
+	for _, shards := range []int{1, 2, 4} {
+		_, flows := runHeavyTailScenario(t, shards)
+		if shards == 1 {
+			ref = flows.String()
+			continue
+		}
+		if flows.String() != ref {
+			t.Errorf("shards=%d: heavy-tail delivered flows differ from serial\nserial: %s\nsharded: %s",
+				shards, ref, flows.String())
+		}
+	}
+}

@@ -71,6 +71,12 @@ type Controller struct {
 	// only live links. Path selection, opening and solution reuse filter
 	// through it. Nil means "always feasible" (healthy fabric).
 	PathCheck func(src, dst topology.NodeID, p topology.Path) bool
+	// PathSource, when set, supplies alternative-path enumerations in
+	// place of direct topology calls — assembled simulations point it at
+	// a shared per-shard topology.PathCache so repeated congestion
+	// episodes across a shard's controllers reuse one bounded enumeration
+	// instead of re-deriving (and re-allocating) the same path sets.
+	PathSource func(src, dst topology.NodeID, max int) []topology.Path
 	// OnRecovery, when set, observes each failure-to-recovery latency
 	// (loss notification -> next successful ACK for that destination).
 	OnRecovery func(d sim.Time)
@@ -371,7 +377,7 @@ func (c *Controller) maybeOpen(e *sim.Engine, mp *metapath) {
 		}
 	}
 	if !mp.poolInit {
-		mp.pool = c.topo.AlternativePaths(c.Node, mp.dst, 2*c.Cfg.MaxPaths)
+		mp.pool = c.enumeratePaths(mp.dst)
 		mp.poolInit = true
 	}
 	// Skip candidates already open or currently infeasible (failed links).
@@ -397,6 +403,18 @@ func (c *Controller) maybeOpen(e *sim.Engine, mp *metapath) {
 		c.Trace.Control(e.Now(), telemetry.KindMetapathOpen, int(c.Node), int(mp.dst), 0, int64(len(mp.paths)))
 		return
 	}
+}
+
+// enumeratePaths fetches the alternative-path pool for dst, through the
+// shared PathSource cache when one is wired, else straight from the
+// topology. Both return shared immutable slices: the pool is consumed by
+// re-slicing (mp.pool[1:]) and selected paths are copied before mutation,
+// so aliasing the cache's storage is safe.
+func (c *Controller) enumeratePaths(dst topology.NodeID) []topology.Path {
+	if c.PathSource != nil {
+		return c.PathSource(c.Node, dst, 2*c.Cfg.MaxPaths)
+	}
+	return c.topo.AlternativePaths(c.Node, dst, 2*c.Cfg.MaxPaths)
 }
 
 // currentBest returns the lowest path latency in the metapath, the
@@ -579,15 +597,37 @@ func (c *Controller) Paths(dst topology.NodeID) []topology.Path {
 func Install(net *network.Network, cfg Config, rngSeed uint64) []*Controller {
 	ctls := make([]*Controller, net.Topo.NumTerminals())
 	root := sim.NewRNG(rngSeed)
+	// One bounded path cache per shard: every controller on a shard runs on
+	// that shard's engine goroutine, so the (non-thread-safe) cache sees
+	// strictly serial access, and hot destination sets are shared across
+	// the shard's sources instead of enumerated per controller. The bound
+	// keeps resident pairs O(active flows), not O(N^2).
+	caches := make(map[*sim.Engine]*topology.PathCache)
+	capacity := 4 * net.Topo.NumTerminals()
+	if capacity < 256 {
+		capacity = 256
+	}
 	net.SetSourceController(func(node topology.NodeID) network.SourceController {
 		// Each controller binds to its node's shard: engine, tracer and
 		// collector all come from the shard owning the node's NIC, so
 		// controller callbacks stay shard-local in parallel runs.
-		ctl := New(node, net.Topo, net.EngineForNode(node), cfg, root.Split(uint64(node)+1))
+		eng := net.EngineForNode(node)
+		ctl := New(node, net.Topo, eng, cfg, root.Split(uint64(node)+1))
 		ctl.PathCheck = net.PathUsable
 		ctl.Trace = net.TracerForNode(node)
 		if col := net.CollectorForNode(node); col != nil {
 			ctl.OnRecovery = col.PathRecovered
+		}
+		pc := caches[eng]
+		if pc == nil {
+			pc = topology.NewPathCache(net.Topo, 2*cfg.MaxPaths, capacity)
+			caches[eng] = pc
+		}
+		ctl.PathSource = func(src, dst topology.NodeID, max int) []topology.Path {
+			if max != pc.PerPair() {
+				return net.Topo.AlternativePaths(src, dst, max)
+			}
+			return pc.Paths(src, dst)
 		}
 		ctls[node] = ctl
 		return ctl

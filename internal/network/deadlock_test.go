@@ -23,6 +23,13 @@ func TestDeadlockFreedomAllTopologies(t *testing.T) {
 		topology.NewMesh3D(3, 3, 3),
 		topology.NewTorus3D(3, 3, 3),
 		topology.NewTorus3D(4, 3, 5),
+		// Dragonfly's two-VC scheme rides the dateline machinery: global
+		// links are wrap links, so VC0 carries pre-global local hops and
+		// VC1 post-global ones — acyclic per traffic class.
+		topology.NewDragonfly(2, 3, 1, 1),
+		topology.NewDragonfly(4, 5, 1, 2),
+		topology.NewDragonfly(4, 4, 1, 1),
+		topology.NewDragonfly(4, 9, 2, 2),
 	} {
 		if err := CheckDeadlockFreedom(topo, 6); err != nil {
 			t.Errorf("%s: %v", topo.Name(), err)

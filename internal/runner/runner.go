@@ -484,6 +484,89 @@ func (s *Sim) InstallVariableBursts(specs []BurstSpec, count int) (sim.Time, err
 	return end, nil
 }
 
+// HeavyTailSpec schedules the datacenter-style workload: ON/OFF flow
+// arrivals with empirical heavy-tailed flow sizes and optional rack or
+// group locality skew.
+type HeavyTailSpec struct {
+	// CDF names the flow-size distribution ("websearch", "datamining",
+	// "cache"); MaxFlowBytes > 0 truncates its tail.
+	CDF          string
+	MaxFlowBytes int
+	// Pattern picks destinations: "uniform" (default) or "grouplocal".
+	Pattern string
+	// GroupSize is the grouplocal group width in nodes; 0 derives it from
+	// the topology (a dragonfly group, else one router's terminals).
+	GroupSize int
+	// PLocal is the grouplocal fraction of intra-group flows.
+	PLocal float64
+	// LoadMbps is the target mean offered load per node while ON; the flow
+	// arrival rate is LoadMbps / mean flow size.
+	LoadMbps float64
+	// OnMean/OffMean are mean ON and OFF durations (OffMean 0 = always on).
+	OnMean, OffMean sim.Time
+	Start, End      sim.Time
+}
+
+// rackSize returns the default locality-group width: a full group on a
+// dragonfly, otherwise the terminals of one router (the "rack" under a
+// single top-of-rack switch). All topologies here attach terminals
+// contiguously, so counting node 0's router-mates suffices.
+func rackSize(topo topology.Topology) int {
+	if d, ok := topo.(*topology.Dragonfly); ok {
+		return d.A * d.P
+	}
+	r0, _ := topo.TerminalAttach(0)
+	size := 1
+	for t := 1; t < topo.NumTerminals(); t++ {
+		if r, _ := topo.TerminalAttach(topology.NodeID(t)); r != r0 {
+			break
+		}
+		size++
+	}
+	if size < 2 {
+		size = 2
+	}
+	return size
+}
+
+// InstallHeavyTail schedules the heavy-tailed workload on the simulation.
+func (s *Sim) InstallHeavyTail(spec HeavyTailSpec) error {
+	cdf, err := traffic.CDFByName(spec.CDF)
+	if err != nil {
+		return err
+	}
+	if spec.MaxFlowBytes > 0 {
+		cdf = cdf.Truncate(float64(spec.MaxFlowBytes))
+	}
+	n := s.Net.Topo.NumTerminals()
+	var p traffic.Pattern
+	switch spec.Pattern {
+	case "", "uniform":
+		p = traffic.Uniform{Nodes: n}
+	case "grouplocal":
+		size := spec.GroupSize
+		if size == 0 {
+			size = rackSize(s.Net.Topo)
+		}
+		p = traffic.NewGroupLocal(n, size, spec.PLocal)
+	default:
+		return fmt.Errorf("prdrb: unknown heavy-tail pattern %q", spec.Pattern)
+	}
+	if spec.LoadMbps <= 0 {
+		return fmt.Errorf("prdrb: heavy-tail spec needs a positive load")
+	}
+	traffic.InstallHeavyTail(s.Net, traffic.HeavyTail{
+		Pattern:  p,
+		Sizes:    cdf,
+		FlowRate: spec.LoadMbps * 1e6 / (8 * cdf.Mean()),
+		OnMean:   spec.OnMean,
+		OffMean:  spec.OffMean,
+		Start:    spec.Start,
+		End:      spec.End,
+	}, s.rng.Split(0x9d))
+	return nil
+}
+
 // PlayTrace prepares a logical-trace replay on the simulation (mapping nil
 // = rank i on node i) and starts it at time 0. Replay drives the serial
 // engine directly, so it refuses sharded simulations.

@@ -1,0 +1,146 @@
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ByName constructs a topology from a compact spec string — the single
+// registry every CLI, preset and manifest-replaying tool resolves shapes
+// through:
+//
+//	mesh-WxH        2-D mesh                      mesh-8x8
+//	torus-WxH       2-D torus                     torus-4x4
+//	mesh3d-XxYxZ    3-D mesh                      mesh3d-4x4x4
+//	torus3d-XxYxZ   3-D torus (k-ary 3-cube)      torus3d-4x4x4
+//	ft-K-N          k-ary n-tree fat-tree         ft-4-3
+//	clos-K          3-tier full-bisection folded  clos-16 (512 hosts),
+//	                Clos of radix-K switches      clos-32 (4096 hosts)
+//	df-A-G-H-P      Dragonfly: G groups of A      df-16-32-8-8
+//	                routers, H global links and   (4096 hosts)
+//	                P terminals per router
+//
+// A clos-K is the K/2-ary 3-tree: radix-K switches (K/2 down, K/2 up),
+// (K/2)^3 hosts, full bisection — the standard three-tier datacenter
+// folded-Clos stated in switch-radix terms.
+func ByName(spec string) (Topology, error) {
+	kind, rest, _ := strings.Cut(spec, "-")
+	dims := func(want int) ([]int, error) {
+		parts := strings.Split(rest, "x")
+		if len(parts) != want {
+			return nil, fmt.Errorf("topology: want %s-%s, got %q", kind, strings.Repeat("Nx", want-1)+"N", spec)
+		}
+		out := make([]int, want)
+		for i, p := range parts {
+			v, err := strconv.Atoi(p)
+			if err != nil {
+				return nil, fmt.Errorf("topology: bad dimension %q in %q", p, spec)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	ints := func(want int) ([]int, error) {
+		parts := strings.Split(rest, "-")
+		if len(parts) != want {
+			return nil, fmt.Errorf("topology: %q wants %d dash-separated parameters", spec, want)
+		}
+		out := make([]int, want)
+		for i, p := range parts {
+			v, err := strconv.Atoi(p)
+			if err != nil {
+				return nil, fmt.Errorf("topology: bad parameter %q in %q", p, spec)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch kind {
+	case "mesh":
+		d, err := dims(2)
+		if err != nil {
+			return nil, err
+		}
+		return NewMesh(d[0], d[1]), nil
+	case "torus":
+		d, err := dims(2)
+		if err != nil {
+			return nil, err
+		}
+		return NewTorus(d[0], d[1]), nil
+	case "mesh3d":
+		d, err := dims(3)
+		if err != nil {
+			return nil, err
+		}
+		return NewMesh3D(d[0], d[1], d[2]), nil
+	case "torus3d":
+		d, err := dims(3)
+		if err != nil {
+			return nil, err
+		}
+		return NewTorus3D(d[0], d[1], d[2]), nil
+	case "ft":
+		v, err := ints(2)
+		if err != nil {
+			return nil, err
+		}
+		return NewKAryNTree(v[0], v[1]), nil
+	case "clos":
+		v, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		if v[0] < 4 || v[0]%2 != 0 {
+			return nil, fmt.Errorf("topology: clos switch radix must be even and >= 4, got %d", v[0])
+		}
+		return NewKAryNTree(v[0]/2, 3), nil
+	case "df":
+		v, err := ints(4)
+		if err != nil {
+			return nil, err
+		}
+		return NewDragonfly(v[0], v[1], v[2], v[3]), nil
+	}
+	return nil, fmt.Errorf("topology: unknown spec %q (want %s)", spec, strings.Join(SpecForms(), ", "))
+}
+
+// SpecForms lists the spec grammars ByName accepts, for CLI usage lines.
+func SpecForms() []string {
+	return []string{"mesh-WxH", "torus-WxH", "mesh3d-XxYxZ", "torus3d-XxYxZ", "ft-K-N", "clos-K", "df-A-G-H-P"}
+}
+
+// CatalogueEntry describes one registry family for the docs/CLI catalogue.
+type CatalogueEntry struct {
+	Spec    string // example spec
+	Nodes   int
+	Routers int
+	Radix   int // maximum router radix
+	// Diameter is the maximum router-to-router minimal distance.
+	Diameter int
+}
+
+// Describe builds the catalogue row for an already-constructed topology.
+// Diameter is measured (BFS from every router), so keep it to catalogue
+// and test use, not hot paths.
+func Describe(spec string, t Topology) CatalogueEntry {
+	e := CatalogueEntry{
+		Spec:    spec,
+		Nodes:   t.NumTerminals(),
+		Routers: t.NumRouters(),
+	}
+	for r := RouterID(0); int(r) < t.NumRouters(); r++ {
+		if rad := t.Radix(r); rad > e.Radix {
+			e.Radix = rad
+		}
+	}
+	for r := RouterID(0); int(r) < t.NumRouters(); r++ {
+		for o := RouterID(0); int(o) < t.NumRouters(); o++ {
+			if d := t.Distance(r, o); d > e.Diameter {
+				e.Diameter = d
+			}
+		}
+	}
+	return e
+}

@@ -1,0 +1,146 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestByNameSpecs(t *testing.T) {
+	cases := []struct {
+		spec    string
+		name    string
+		nodes   int
+		routers int
+	}{
+		{"mesh-4x4", "mesh4x4", 16, 16},
+		{"torus-5x3", "torus5x3", 15, 15},
+		{"mesh3d-2x3x4", "mesh2x3x4", 24, 24},
+		{"torus3d-4x4x4", "torus4x4x4", 64, 64},
+		{"ft-4-3", "ft-4ary3tree", 64, 48},
+		{"clos-16", "ft-8ary3tree", 512, 192},
+		{"clos-32", "ft-16ary3tree", 4096, 768},
+		{"df-4-5-1-2", "df-4-5-1-2", 40, 20},
+		{"df-16-32-8-8", "df-16-32-8-8", 4096, 512},
+	}
+	for _, c := range cases {
+		topo, err := ByName(c.spec)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", c.spec, err)
+		}
+		if topo.Name() != c.name {
+			t.Errorf("ByName(%q).Name() = %q, want %q", c.spec, topo.Name(), c.name)
+		}
+		if topo.NumTerminals() != c.nodes {
+			t.Errorf("ByName(%q) terminals = %d, want %d", c.spec, topo.NumTerminals(), c.nodes)
+		}
+		if topo.NumRouters() != c.routers {
+			t.Errorf("ByName(%q) routers = %d, want %d", c.spec, topo.NumRouters(), c.routers)
+		}
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "ring-8", "mesh-4", "mesh-4x4x4", "torus-ax4", "ft-4", "ft-4-3-2",
+		"clos-15", "clos-2", "df-4-5-1", "df-x-5-1-2",
+	} {
+		if _, err := ByName(spec); err == nil {
+			t.Errorf("ByName(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestByNameErrorListsForms(t *testing.T) {
+	_, err := ByName("hypercube-8")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	for _, form := range SpecForms() {
+		if !strings.Contains(err.Error(), form) {
+			t.Errorf("error %q does not mention form %q", err, form)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	topo, err := ByName("df-4-5-1-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Describe("df-4-5-1-2", topo)
+	if e.Nodes != 40 || e.Routers != 20 {
+		t.Fatalf("catalogue sizes: %+v", e)
+	}
+	if e.Radix != 6 { // (A-1)+H+P = 3+1+2
+		t.Fatalf("radix = %d, want 6", e.Radix)
+	}
+	if e.Diameter != 3 {
+		t.Fatalf("diameter = %d, want 3", e.Diameter)
+	}
+}
+
+func TestPathCacheMatchesDirect(t *testing.T) {
+	for _, spec := range []string{"mesh-6x6", "ft-4-3", "df-4-5-1-2"} {
+		topo, err := ByName(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc := NewPathCache(topo, 6, 32)
+		n := topo.NumTerminals()
+		for s := 0; s < n; s += 3 {
+			for dst := 1; dst < n; dst += 5 {
+				got := pc.Paths(NodeID(s), NodeID(dst))
+				want := topo.AlternativePaths(NodeID(s), NodeID(dst), 6)
+				if len(got) != len(want) {
+					t.Fatalf("%s %d->%d: cache %d paths, direct %d", spec, s, dst, len(got), len(want))
+				}
+				for i := range got {
+					if !got[i].Equal(want[i]) {
+						t.Fatalf("%s %d->%d path %d: cache %v, direct %v", spec, s, dst, i, got[i], want[i])
+					}
+				}
+				// Second fetch must be the identical cached slice.
+				again := pc.Paths(NodeID(s), NodeID(dst))
+				if len(again) > 0 && len(got) > 0 && &again[0] != &got[0] {
+					t.Fatalf("%s %d->%d: second fetch recomputed", spec, s, dst)
+				}
+			}
+		}
+	}
+}
+
+func TestPathCacheEvicts(t *testing.T) {
+	topo := NewMesh(6, 6)
+	pc := NewPathCache(topo, 4, 8)
+	for dst := 1; dst < 20; dst++ {
+		pc.Paths(0, NodeID(dst))
+		if pc.Len() > 8 {
+			t.Fatalf("cache grew to %d entries past capacity 8", pc.Len())
+		}
+	}
+	if pc.Len() != 8 {
+		t.Fatalf("cache has %d entries, want 8", pc.Len())
+	}
+	// LRU: the most recently used pair survives a fill.
+	keep := pc.Paths(0, 19)
+	for dst := 20; dst < 27; dst++ {
+		pc.Paths(0, NodeID(dst))
+	}
+	if got := pc.Paths(0, 19); len(keep) > 0 && &got[0] != &keep[0] {
+		t.Fatalf("most-recent entry was evicted")
+	}
+}
+
+func TestTreeLazyDistance(t *testing.T) {
+	// Lazy rows must agree with BFS ground truth, including after
+	// concurrent first queries.
+	ft := NewKAryNTree(4, 3)
+	for src := RouterID(0); int(src) < ft.NumRouters(); src += 7 {
+		want := bfsFrom(ft, src)
+		for o := RouterID(0); int(o) < ft.NumRouters(); o++ {
+			if got := ft.Distance(src, o); got != want[o] {
+				t.Fatalf("tree Distance(%d,%d) = %d, BFS %d", src, o, got, want[o])
+			}
+		}
+	}
+}

@@ -16,6 +16,9 @@ func allTopologies() []Topology {
 		NewKAryNTree(2, 3),
 		NewKAryNTree(4, 2),
 		NewKAryNTree(4, 3),
+		NewDragonfly(2, 3, 1, 1),
+		NewDragonfly(4, 5, 1, 2),
+		NewDragonfly(4, 9, 2, 2),
 	}
 }
 
@@ -139,7 +142,7 @@ func TestMinimalPortsContainNextHop(t *testing.T) {
 // destination's router (productivity), which makes minimal adaptive routing
 // loop-free: any sequence of minimal choices terminates.
 func TestMinimalPortsAreProductive(t *testing.T) {
-	for _, topo := range []Topology{NewMesh(6, 6), NewTorus(5, 5), NewKAryNTree(4, 3)} {
+	for _, topo := range []Topology{NewMesh(6, 6), NewTorus(5, 5), NewKAryNTree(4, 3), NewDragonfly(4, 9, 2, 2)} {
 		n := topo.NumTerminals()
 		for s := 0; s < n; s += 3 {
 			for d := 0; d < n; d += 5 {

@@ -3,6 +3,7 @@ package topology
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // KAryNTree is the k-ary n-tree fat-tree of §2.1.5 (after Petrini &
@@ -23,9 +24,16 @@ import (
 // routing whose contention the paper's baselines exhibit.
 type KAryNTree struct {
 	K, N     int
-	switches int       // per level: K^(N-1)
-	terms    int       // K^N
-	dist     [][]int16 // all-pairs router distances, BFS-precomputed
+	switches int // per level: K^(N-1)
+	terms    int // K^N
+	// dist caches per-source router-distance rows, BFS-computed on first
+	// use. Routing never consults it — only Distance() does (metapath cost
+	// accounting, provisioning reports) — so at datacenter scale (clos-32
+	// has 3072 switches) memory stays O(R) per *queried* source instead of
+	// an eager O(R^2) all-pairs table. Rows are immutable once published;
+	// concurrent first queries race benignly (both compute the identical
+	// row, one wins the CompareAndSwap).
+	dist []atomic.Pointer[[]int16]
 	// upPorts is the precomputed all-up-ports answer of MinimalPorts
 	// (identical for every below-ancestor query). It is written once at
 	// construction and read-only afterwards, so returning it from
@@ -48,40 +56,44 @@ func NewKAryNTree(k, n int) *KAryNTree {
 	for i := range t.upPorts {
 		t.upPorts[i] = k + i
 	}
-	t.precomputeDistances()
+	t.dist = make([]atomic.Pointer[[]int16], t.NumRouters())
 	return t
 }
 
-// precomputeDistances runs one BFS per router over the physical switch
-// graph. Tree distances are not a simple closed form once both endpoints
-// sit above the nearest common level (e.g. two distinct roots are 2 apart
-// via any shared level-(n-2) switch), so we take the exact graph metric.
-func (t *KAryNTree) precomputeDistances() {
+// distRow returns the BFS distance row from src, computing and caching it
+// on first use. Tree distances are not a simple closed form once both
+// endpoints sit above the nearest common level (e.g. two distinct roots
+// are 2 apart via any shared level-(n-2) switch), so we take the exact
+// graph metric — but lazily, one source row at a time.
+func (t *KAryNTree) distRow(src RouterID) []int16 {
+	if row := t.dist[src].Load(); row != nil {
+		return *row
+	}
 	nr := t.NumRouters()
-	t.dist = make([][]int16, nr)
-	for src := 0; src < nr; src++ {
-		row := make([]int16, nr)
-		for i := range row {
-			row[i] = -1
-		}
-		row[src] = 0
-		queue := []RouterID{RouterID(src)}
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			for p := 0; p < t.Radix(cur); p++ {
-				peer := t.PortPeer(cur, p)
-				if !peer.IsRouter() {
-					continue
-				}
-				if row[peer.Router] < 0 {
-					row[peer.Router] = row[cur] + 1
-					queue = append(queue, peer.Router)
-				}
+	row := make([]int16, nr)
+	for i := range row {
+		row[i] = -1
+	}
+	row[src] = 0
+	queue := []RouterID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for p := 0; p < t.Radix(cur); p++ {
+			peer := t.PortPeer(cur, p)
+			if !peer.IsRouter() {
+				continue
+			}
+			if row[peer.Router] < 0 {
+				row[peer.Router] = row[cur] + 1
+				queue = append(queue, peer.Router)
 			}
 		}
-		t.dist[src] = row
 	}
+	if !t.dist[src].CompareAndSwap(nil, &row) {
+		return *t.dist[src].Load() // a concurrent query published first
+	}
+	return row
 }
 
 // Name implements Topology.
@@ -255,9 +267,9 @@ func (t *KAryNTree) NextHopToRouter(r, target RouterID) int {
 }
 
 // Distance implements Topology: the exact hop count in the switch graph,
-// precomputed by BFS at construction.
+// BFS-computed per source row on first use.
 func (t *KAryNTree) Distance(a, b RouterID) int {
-	return int(t.dist[a][b])
+	return int(t.distRow(a)[b])
 }
 
 // CommonAncestors returns the NCA switches of terminals src and dst: all

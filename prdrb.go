@@ -113,6 +113,9 @@ type (
 	PatternSpec = runner.PatternSpec
 	// BurstSpec describes repeated communication bursts (Fig 2.6).
 	BurstSpec = runner.BurstSpec
+	// HeavyTailSpec schedules datacenter-style ON/OFF flow arrivals with
+	// empirical heavy-tailed flow sizes and rack/group locality skew.
+	HeavyTailSpec = runner.HeavyTailSpec
 	// Knowledge is a serializable snapshot of the PR-DRB solution databases —
 	// the "static variation" of thesis §5.2. Export after a training run and
 	// import into a fresh simulation so patterns are recognized from their
@@ -176,6 +179,22 @@ func Torus3D(x, y, z int) Topology { return topology.NewTorus3D(x, y, z) }
 
 // Grid returns an arbitrary n-dimensional mesh or torus.
 func Grid(dims []int, wrap bool) Topology { return topology.NewGrid(dims, wrap) }
+
+// Dragonfly returns a Dragonfly(a, g, h) with p terminals per router: g
+// groups of a fully connected routers, h global channels per router
+// (Dragonfly(16, 32, 8, 8) is the 4096-node datacenter shape).
+func Dragonfly(a, g, h, p int) Topology { return topology.NewDragonfly(a, g, h, p) }
+
+// Clos returns the three-tier full-bisection folded Clos built from
+// radix-k switches: (k/2)^3 hosts (Clos(32) is the 4096-host fabric).
+func Clos(k int) Topology { return topology.NewKAryNTree(k/2, 3) }
+
+// TopologyByName resolves a compact spec string ("mesh-8x8", "torus3d-4x4x4",
+// "ft-4-3", "clos-32", "df-16-32-8-8", ...) through the topology registry.
+func TopologyByName(spec string) (Topology, error) { return topology.ByName(spec) }
+
+// TopologySpecForms lists the spec grammars TopologyByName accepts.
+func TopologySpecForms() []string { return topology.SpecForms() }
 
 // NewSim builds the network, installs the routing policy and, for the DRB
 // family, one source controller per node. Assembly itself lives in

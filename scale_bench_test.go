@@ -1,0 +1,58 @@
+package prdrb
+
+import (
+	"runtime"
+	"testing"
+)
+
+// BenchmarkScale4096 pins the datacenter-scale memory contract: a 4096-node
+// dragonfly (df-16-32-8-8, 512 radix-31 routers) under skewed heavy-tail
+// traffic must assemble and run within O(ports) per-router state and
+// O(active-flows) NIC state. scripts/bench.sh turns the output into
+// BENCH_scale.json and scripts/bench_gate.sh gates CI on the per-node heap
+// and allocation figures, so an accidental O(nodes^2) table (eager
+// all-pairs distances, eager path enumeration) fails the gate instead of
+// silently eating CI memory.
+func BenchmarkScale4096(b *testing.B) {
+	const nodes = 4096
+	var heapPerNode float64
+	var events, pkts uint64
+	for i := 0; i < b.N; i++ {
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		s := MustNewSim(Experiment{
+			Topology: Dragonfly(16, 32, 8, 8),
+			Policy:   PolicyPRDRB,
+			Seed:     uint64(i + 1),
+			Shards:   4,
+		})
+		spec := HeavyTailSpec{
+			CDF: "cache", Pattern: "grouplocal", PLocal: 0.7,
+			LoadMbps: 100,
+			OnMean:   50 * Microsecond,
+			End:      50 * Microsecond,
+		}
+		if err := s.InstallHeavyTail(spec); err != nil {
+			b.Fatal(err)
+		}
+		// Heap growth attributable to the assembled simulation (topology,
+		// routers, NICs, controllers, workload closures), per terminal.
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		heapPerNode = float64(after.HeapAlloc-before.HeapAlloc) / nodes
+		res := s.Execute(spec.End + Second)
+		if res.AcceptedRatio != 1 {
+			b.Fatalf("scale run lost traffic (accepted %.3f)", res.AcceptedRatio)
+		}
+		for _, sh := range s.Net.Shards {
+			events += sh.Eng.Processed
+		}
+		pkts += uint64(s.Collector.Throughput.AcceptedPkts)
+	}
+	b.ReportMetric(heapPerNode, "heap_bytes/node")
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(pkts)/float64(b.N), "pkts/op")
+}

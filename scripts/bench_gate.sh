@@ -66,3 +66,57 @@ END {
     if (fail) exit 1
     print "==> bench gate OK"
 }' "$BENCH_OUT"
+
+# --- datacenter-scale memory gate -------------------------------------
+# BenchmarkScale4096 assembles the 4096-node dragonfly under heavy-tail
+# load; the committed BENCH_scale.json pins its per-node heap footprint
+# and allocation count. Heap may not grow more than 15% and allocs/node
+# more than 10% + 0.5 absolute — an accidental O(nodes^2) table blows
+# both by orders of magnitude, while GC jitter stays inside the margin.
+SCALE_BASELINE=BENCH_scale.json
+SCALE_OUT="${SCALE_OUT:-bench_scale_raw.txt}"
+
+[ -f "$SCALE_BASELINE" ] || { echo "bench_gate: missing $SCALE_BASELINE" >&2; exit 1; }
+
+base_heap=$(sed -n 's/.*"heap_bytes_per_node": \([0-9.]*\),*/\1/p' "$SCALE_BASELINE")
+base_nallocs=$(sed -n 's/.*"allocs_per_node": \([0-9.]*\),*/\1/p' "$SCALE_BASELINE")
+scale_nodes=$(sed -n 's/.*"nodes": \([0-9]*\),*/\1/p' "$SCALE_BASELINE")
+[ -n "$base_heap" ] && [ -n "$base_nallocs" ] && [ -n "$scale_nodes" ] || {
+    echo "bench_gate: could not parse scale baseline from $SCALE_BASELINE" >&2; exit 1
+}
+
+echo "==> scale baseline: $base_heap heap bytes/node, $base_nallocs allocs/node ($scale_nodes nodes)"
+echo "==> go test -bench BenchmarkScale4096 -benchtime 1x -count $REPS"
+go test -run '^$' -bench BenchmarkScale4096 -benchtime 1x -count "$REPS" \
+    -benchmem . | tee "$SCALE_OUT"
+
+awk -v base_heap="$base_heap" -v base_nallocs="$base_nallocs" -v nodes="$scale_nodes" '
+/^BenchmarkScale4096/ {
+    for (i = 1; i <= NF; i++) {
+        if ($i == "heap_bytes/node") r_hb = $(i-1)
+        if ($i == "allocs/op")       r_ao = $(i-1)
+    }
+    # Best (minimum) across reps: memory is deterministic per seed, so the
+    # lowest rep has the least GC/measurement noise.
+    if (hb == "" || r_hb + 0 < hb + 0) hb = r_hb
+    if (ao == "" || r_ao + 0 < ao + 0) ao = r_ao
+}
+END {
+    if (hb == "") { print "bench_gate: no BenchmarkScale4096 line found" > "/dev/stderr"; exit 1 }
+    nallocs = ao / nodes
+    heap_ceil = base_heap * 1.15
+    allocs_ceil = base_nallocs * 1.10 + 0.5
+    printf "==> best of reps: %.0f heap bytes/node (ceiling %.0f), %.2f allocs/node (ceiling %.2f)\n", \
+        hb, heap_ceil, nallocs, allocs_ceil
+    fail = 0
+    if (hb + 0 > heap_ceil) {
+        printf "bench_gate: FAIL — per-node heap grew (%.0f > %.0f bytes/node)\n", hb, heap_ceil
+        fail = 1
+    }
+    if (nallocs > allocs_ceil) {
+        printf "bench_gate: FAIL — per-node allocations grew (%.2f > %.2f)\n", nallocs, allocs_ceil
+        fail = 1
+    }
+    if (fail) exit 1
+    print "==> scale gate OK"
+}' "$SCALE_OUT"

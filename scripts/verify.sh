@@ -51,6 +51,18 @@ shard_pkts=$(printf '%s\n' "$shard_out" | sed -n 's/.*pkts=\([0-9]*\).*/\1/p')
 }
 echo "    shards=4 delivered $shard_pkts pkts == serial"
 
+echo "==> datacenter-scale smoke (4096-node dragonfly, heavy-tail skew)"
+# The full df-16-32-8-8 with PR-DRB controllers and skewed heavy-tail
+# traffic: assembly plus a short run must fit CI memory (per-router state
+# is O(ports), path enumeration is lazy + cached) and stay lossless.
+scale_out=$("$teldir/prdrbsim" -topo df-16-32-8-8 -policy pr-drb -heavytail cache \
+    -ht-pattern grouplocal -ht-plocal 0.7 -rate 100 -duration 50us -shards 4 -bursts 0)
+printf '%s\n' "$scale_out" | grep -q 'accepted=1.000' || {
+    echo "verify: 4096-node dragonfly run lost traffic: $scale_out" >&2
+    exit 1
+}
+echo "    $scale_out"
+
 echo "==> collectives smoke (workload -> GOAL schedule -> shard-invariant replay)"
 # Convert an AI-training workload to a GOAL dependency-graph schedule,
 # replay the schedule, and check the run summary. GOAL replay always runs
