@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"prdrb/internal/perf"
 	"prdrb/internal/runner"
 	"prdrb/internal/sim"
 	"prdrb/internal/telemetry"
@@ -84,6 +85,8 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	statusAddr := flag.String("status", "", "serve the live status plane (/metrics, /status, /events) on this address")
 	statusInterval := flag.Duration("status-interval", 100*time.Microsecond, "virtual-time sampling interval for the status plane")
+	perfOut := flag.String("perf", "", "write an engine perf report JSON to this file (forces serial execution; render with 'prdrbtrace perf')")
+	perfTrace := flag.String("perf-trace", "", "write a wall-clock Perfetto trace of the engine to this file (forces serial execution)")
 	flag.Parse()
 	wallStart := time.Now()
 	installInterruptCleanup()
@@ -144,6 +147,12 @@ func main() {
 		// up from the runner default — no per-experiment plumbing.
 		runner.DefaultTelemetry = tel
 	}
+	var prof *perf.Profiler
+	if *perfOut != "" || *perfTrace != "" {
+		// One profiler accumulates across every selected experiment run.
+		prof = perf.New(perf.Options{Trace: *perfTrace != ""})
+		runner.DefaultPerf = prof
+	}
 	// The live feed is always on: atomic counters the workers fold progress
 	// into, read by the status server and the stderr progress line.
 	live := &telemetry.LiveStats{}
@@ -163,10 +172,10 @@ func main() {
 	if workers < 1 || *outDir == "-" {
 		workers = 1 // stdout output must stay ordered
 	}
-	if tel != nil {
-		// The shared tracer's event log and the shared metrics registry are
-		// not concurrency-safe, and a deterministic trace needs a
-		// deterministic run-scope order.
+	if tel != nil || prof != nil {
+		// The shared tracer's event log, the shared metrics registry and
+		// the shared profiler are not concurrency-safe, and a deterministic
+		// trace needs a deterministic run-scope order.
 		workers = 1
 		serialExec = true
 	}
@@ -242,9 +251,53 @@ func main() {
 			failed++
 		}
 	}
+	if prof != nil {
+		if err := writePerfArtifacts(prof, *perfOut, *perfTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "perf: %v\n", err)
+			failed++
+		}
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// writePerfArtifacts serializes the shared engine profiler's report and
+// Perfetto timeline through the atomic artifact path.
+func writePerfArtifacts(prof *perf.Profiler, reportPath, tracePath string) error {
+	r := prof.Report()
+	if reportPath != "" {
+		a, err := createArtifact(reportPath)
+		if err != nil {
+			return err
+		}
+		if err := prof.WriteReport(a); err != nil {
+			a.Abort()
+			return err
+		}
+		if err := a.Commit(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote perf report %s\n", reportPath)
+	}
+	if tracePath != "" {
+		a, err := createArtifact(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := prof.WriteTrace(a); err != nil {
+			a.Abort()
+			return err
+		}
+		if err := a.Commit(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote perf trace %s (%d window spans)\n", tracePath, r.TraceSpans)
+	}
+	fmt.Fprintf(os.Stderr, "experiments: perf: %d events, %d windows, wall=%.3fms busy=%.3fms idle=%.1f%% imbalance=%.2f\n",
+		r.TotalEvents, r.Windows, float64(r.WallNs)/1e6, float64(r.BusyNs)/1e6,
+		100*r.IdleFraction, r.ImbalanceRatio)
+	return nil
 }
 
 // writeTelemetryArtifacts serializes the shared trace (JSONL + Chrome) and

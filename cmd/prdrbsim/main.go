@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"prdrb"
+	"prdrb/internal/perf"
 	"prdrb/internal/runner"
 	"prdrb/internal/sim"
 	"prdrb/internal/telemetry"
@@ -68,6 +69,9 @@ func main() {
 		manifestOut = flag.String("manifest", "", "write a run-manifest JSON (config, seed, code version, metrics) to this file")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+
+		perfOut   = flag.String("perf", "", "write an engine perf report JSON to this file (render with 'prdrbtrace perf')")
+		perfTrace = flag.String("perf-trace", "", "write a wall-clock Perfetto trace of the engine (per-shard window/barrier-wait spans) to this file")
 
 		statusAddr     = flag.String("status", "", "serve the live status plane (/metrics, /status, /events) on this address (e.g. localhost:6061 or 127.0.0.1:0)")
 		statusInterval = flag.Duration("status-interval", 100*time.Microsecond, "virtual-time sampling interval for the status plane")
@@ -127,6 +131,14 @@ func main() {
 		// The status plane's /metrics endpoint needs a registry even when
 		// no trace or manifest was requested.
 		tel = prdrb.NewTelemetry(prdrb.TelemetryOptions{Trace: *teleOut != "", Sample: *teleSample})
+	}
+	var prof *perf.Profiler
+	if *perfOut != "" || *perfTrace != "" {
+		// One profiler accumulates across every policy/seed run of this
+		// invocation; the report's deterministic counters therefore cover
+		// the whole command, not just the last run.
+		prof = perf.New(perf.Options{Trace: *perfTrace != ""})
+		runner.DefaultPerf = prof
 	}
 	if *statusAddr != "" {
 		board := telemetry.NewBoard()
@@ -346,10 +358,37 @@ func main() {
 			fatal(err)
 		}
 	}
+	if prof != nil {
+		if err := writePerfArtifacts(prof, *perfOut, *perfTrace); err != nil {
+			fatal(err)
+		}
+	}
 	if *statusAddr != "" && *statusLinger > 0 {
 		fmt.Fprintf(os.Stderr, "prdrbsim: lingering %s for status scrapes\n", *statusLinger)
 		time.Sleep(*statusLinger)
 	}
+}
+
+// writePerfArtifacts serializes the engine profiler's report and Perfetto
+// timeline and prints a one-line wall-clock summary.
+func writePerfArtifacts(prof *perf.Profiler, reportPath, tracePath string) error {
+	r := prof.Report()
+	if reportPath != "" {
+		if err := prof.WriteReportFile(reportPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "prdrbsim: wrote perf report %s\n", reportPath)
+	}
+	if tracePath != "" {
+		if err := prof.WriteTraceFile(tracePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "prdrbsim: wrote perf trace %s (%d window spans)\n", tracePath, r.TraceSpans)
+	}
+	fmt.Fprintf(os.Stderr, "prdrbsim: perf: %d events, %d windows, wall=%.3fms busy=%.3fms idle=%.1f%% imbalance=%.2f speedup=%.2fx\n",
+		r.TotalEvents, r.Windows, float64(r.WallNs)/1e6, float64(r.BusyNs)/1e6,
+		100*r.IdleFraction, r.ImbalanceRatio, r.EffectiveSpeedup)
+	return nil
 }
 
 // writeTelemetryArtifacts serializes the trace (JSONL + Chrome) and the

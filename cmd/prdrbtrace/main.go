@@ -14,6 +14,7 @@
 //	    [-top 20] [-timeline 40] [-window 50us] [-heatmap-dir DIR]
 //	prdrbtrace validate -trace run.jsonl [-manifest run-manifest.json]
 //	prdrbtrace metrics-validate [exposition.txt]
+//	prdrbtrace perf -report perf.json [-det] [-trace perf.trace.json]
 package main
 
 import (
@@ -38,7 +39,7 @@ func main() {
 // run dispatches the subcommand; stdout is injected for tests.
 func run(args []string, stdout io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: prdrbtrace <report|validate|metrics-validate> [flags]")
+		return fmt.Errorf("usage: prdrbtrace <report|validate|metrics-validate|perf> [flags]")
 	}
 	switch args[0] {
 	case "report":
@@ -47,8 +48,10 @@ func run(args []string, stdout io.Writer) error {
 		return cmdValidate(args[1:], stdout)
 	case "metrics-validate":
 		return cmdMetricsValidate(args[1:], stdout)
+	case "perf":
+		return cmdPerf(args[1:], stdout)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want report, validate or metrics-validate)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want report, validate, metrics-validate or perf)", args[0])
 	}
 }
 

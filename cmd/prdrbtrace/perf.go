@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"prdrb/internal/perf"
+)
+
+// cmdPerf renders an engine perf report written by `prdrbsim -perf` (or
+// `experiments -perf`). With -det only the deterministic counter section
+// is printed — byte-stable for a fixed (configuration, seed, shards), so
+// goldens and CI diffs can pin it. The wall-clock section is rendered
+// otherwise, clearly marked non-deterministic. With -trace the Perfetto
+// timeline written by -perf-trace is also structurally validated.
+func cmdPerf(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("perf", flag.ContinueOnError)
+	reportPath := fs.String("report", "", "perf report JSON written by -perf (required)")
+	det := fs.Bool("det", false, "print only the deterministic counters (byte-stable)")
+	tracePath := fs.String("trace", "", "also validate this Perfetto perf trace (written by -perf-trace)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *reportPath == "" {
+		return fmt.Errorf("perf: -report is required")
+	}
+	r, err := perf.ReadReport(*reportPath)
+	if err != nil {
+		return err
+	}
+	r.WriteText(stdout, *det)
+	if *tracePath != "" {
+		n, err := validatePerfTrace(*tracePath)
+		if err != nil {
+			return fmt.Errorf("perf trace: %w", err)
+		}
+		fmt.Fprintf(stdout, "perf trace: %s ok (%d events)\n", *tracePath, n)
+	}
+	return nil
+}
+
+// validatePerfTrace checks the Perfetto timeline is well-formed Chrome
+// trace-event JSON with at least one event and returns the event count.
+func validatePerfTrace(path string) (int, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		return 0, fmt.Errorf("%s: displayTimeUnit %q, want \"ns\"", path, doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return 0, fmt.Errorf("%s: no trace events (was the run sharded with -perf-trace?)", path)
+	}
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" || ev.Ph == "" {
+			return 0, fmt.Errorf("%s: event %d missing name/ph", path, i)
+		}
+	}
+	return len(doc.TraceEvents), nil
+}

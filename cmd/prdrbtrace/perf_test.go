@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prdrb/internal/telemetry"
+)
+
+// TestPerfGolden pins the full rendering (deterministic counters plus the
+// wall-clock section) of a committed fixture report. The fixture's wall
+// values are frozen in the JSON, so the whole rendering is stable here;
+// on live reports only the -det section is. Regenerate with -update.
+func TestPerfGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"perf", "-report", "testdata/perf-report.json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "perf.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("perf rendering drifted from %s (rerun with -update if intended):\n--- got ---\n%s", golden, buf.String())
+	}
+	if !strings.Contains(buf.String(), "NON-DETERMINISTIC") {
+		t.Error("wall-clock section not marked non-deterministic")
+	}
+}
+
+// TestPerfDetGolden pins the -det rendering: it must stop at the
+// deterministic counter section, never leaking a wall-clock value.
+func TestPerfDetGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"perf", "-report", "testdata/perf-report.json", "-det"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "perf-det.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("perf -det rendering drifted from %s (rerun with -update if intended):\n--- got ---\n%s", golden, buf.String())
+	}
+	for _, wall := range []string{"NON-DETERMINISTIC", "wall=", "busy="} {
+		if strings.Contains(buf.String(), wall) {
+			t.Errorf("-det output leaked wall-clock content %q:\n%s", wall, buf.String())
+		}
+	}
+}
+
+// TestPerfTraceValidation exercises the -trace structural check against a
+// valid Perfetto file and two malformed ones.
+func TestPerfTraceValidation(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	f, err := os.Create(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []telemetry.ChromeEvent{
+		telemetry.ProcessNameEvent(10, "engine"),
+		telemetry.ThreadNameEvent(10, 1, "shard 0"),
+		{Name: "win@0ns", Cat: "window", Ph: "X", Ts: 0, Dur: 12.5, Pid: 10, Tid: 1},
+	}
+	if err := telemetry.WriteChromeEvents(f, events); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var buf bytes.Buffer
+	err = run([]string{"perf", "-report", "testdata/perf-report.json", "-trace", good}, &buf)
+	if err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	if !strings.Contains(buf.String(), "perf trace: "+good+" ok (3 events)") {
+		t.Errorf("missing trace validation line:\n%s", buf.String())
+	}
+
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"traceEvents":[],"displayTimeUnit":"ns"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"perf", "-report", "testdata/perf-report.json", "-trace", empty}, io.Discard); err == nil {
+		t.Error("empty trace accepted")
+	}
+
+	junk := filepath.Join(dir, "junk.json")
+	if err := os.WriteFile(junk, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"perf", "-report", "testdata/perf-report.json", "-trace", junk}, io.Discard); err == nil {
+		t.Error("junk trace accepted")
+	}
+}

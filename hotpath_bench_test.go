@@ -1,6 +1,9 @@
 package prdrb
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+)
 
 // BenchmarkHotPath drives a saturated 64-node fat-tree under uniform traffic
 // and reports raw simulator performance (engineering metrics). scripts/
@@ -22,6 +25,7 @@ func BenchmarkHotPath(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 	b.ReportMetric(float64(pkts)/b.Elapsed().Seconds(), "pkts/sec")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 }
 
 // TestHotPathZeroAlloc is the allocation guard for the typed-event core:

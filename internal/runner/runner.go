@@ -16,6 +16,7 @@ import (
 	"prdrb/internal/faults"
 	"prdrb/internal/metrics"
 	"prdrb/internal/network"
+	"prdrb/internal/perf"
 	"prdrb/internal/provision"
 	"prdrb/internal/routing"
 	"prdrb/internal/sim"
@@ -101,6 +102,13 @@ var DefaultTelemetry *telemetry.Telemetry
 // -shards analogue of DefaultTelemetry for the experiment registry.
 var DefaultShards int
 
+// DefaultPerf, when set, attaches the wall-clock engine profiler to
+// every simulation built — the -perf analogue of DefaultTelemetry. One
+// profiler accumulates across a sweep's runs; the CLIs that set it force
+// serial experiment execution (the profiler is bound to one simulation
+// at a time).
+var DefaultPerf *perf.Profiler
+
 // Sim is an assembled simulation ready to accept workloads.
 type Sim struct {
 	Exp Experiment
@@ -122,6 +130,10 @@ type Sim struct {
 	status         *statusState
 	live           *telemetry.LiveStats
 	lastLiveEvents int64
+
+	// perf is the attached wall-clock engine profiler (nil when off; all
+	// call sites are nil-safe so disabled profiling costs nothing).
+	perf *perf.Profiler
 }
 
 // builder carries the intermediate state of simulation assembly. Each step
@@ -255,7 +267,30 @@ func (b *builder) build() (*Sim, error) {
 	}
 	s.live = DefaultLive
 	s.AttachStatus(DefaultStatus, DefaultStatusEvery)
+	s.AttachPerf(DefaultPerf)
 	return s, nil
+}
+
+// AttachPerf binds a wall-clock engine profiler to this simulation:
+// sharded builds get the window/barrier probe, serial builds get
+// Execute-bracketing with engine-counter folds, and — when telemetry is
+// attached — the perf.* gauges and per-shard window histograms land in
+// the registry for /metrics. Must be called before the simulation runs.
+// No-op on nil.
+func (s *Sim) AttachPerf(p *perf.Profiler) {
+	if p == nil {
+		return
+	}
+	s.perf = p
+	if g := s.Net.Group(); g != nil {
+		p.BindGroup(g)
+	} else {
+		eng := s.Eng
+		p.BindSerial(func() []sim.EngineStats { return []sim.EngineStats{eng.Stats()} })
+	}
+	if s.Telemetry != nil {
+		p.RegisterMetrics(s.Telemetry.Registry)
+	}
 }
 
 // registerStandardMetrics wires the simulation's existing state into the
@@ -642,7 +677,9 @@ type Results struct {
 // horizons. Sharded simulations run their shard group (in parallel when
 // GOMAXPROCS allows; the results are identical either way).
 func (s *Sim) Execute(horizon sim.Time) Results {
+	s.perf.RunStart()
 	s.Net.Drain(horizon)
+	s.perf.RunEnd()
 	s.syncLive(int64(s.Processed()), int64(s.Now()))
 	return s.Summarize()
 }

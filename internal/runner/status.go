@@ -109,6 +109,7 @@ func (ss *serialSampler) HandleEvent(e *sim.Engine, _ uint8, _ uint64) {
 		Pending:       e.Len(),
 	}}
 	status.EventsProcessed = e.Processed
+	status.Perf = st.sim.perf.Snapshot()
 	st.board.PublishStatus(status)
 	st.sim.publishMetrics(st.board)
 	st.sim.syncLive(int64(e.Processed), int64(now))
@@ -164,6 +165,9 @@ func (st *statusState) onBarrier(winEnd sim.Time) {
 	status.EventsProcessed = processed
 	status.Shards = append([]telemetry.ShardStatus(nil), st.shardStats...)
 	status.RingDepths = g.RingDepths()
+	// The profiler's BarrierStart ran before these hooks, so its
+	// aggregates already cover the window that just closed.
+	status.Perf = st.sim.perf.Snapshot()
 	st.board.PublishStatus(status)
 	st.sim.publishMetrics(st.board)
 	st.sim.syncLive(int64(processed), int64(winEnd))

@@ -109,6 +109,9 @@ type ShardGroup struct {
 	// where group-wide state (rings, all shards' engines, shared wiring)
 	// is quiescent and safe to read.
 	barrierFns []func(winEnd Time)
+	// probe, when non-nil, observes the phases of the window/barrier loop
+	// (see GroupProbe). Nil costs one pointer comparison per window.
+	probe GroupProbe
 }
 
 // NewShardGroup builds n wheel-mode engines synchronized every window
@@ -143,6 +146,14 @@ func (g *ShardGroup) Shards() int { return len(g.Engines) }
 func (g *ShardGroup) Now() Time { return g.now }
 
 // Processed sums executed events across shards.
+//
+// Concurrency: each shard's Processed counter is written only by that
+// shard's goroutine during a window. Summing from the coordinator (or any
+// other goroutine) mid-window is a data race; call it only while the
+// group is quiescent — between Run calls, from an OnBarrier hook, or from
+// a barrier task. A shard sampler actor may read its *own* engine's
+// counter during a window (it runs on that engine). For a bulk race-free
+// snapshot at barriers use Stats.
 func (g *ShardGroup) Processed() uint64 {
 	var total uint64
 	for _, e := range g.Engines {
@@ -152,7 +163,8 @@ func (g *ShardGroup) Processed() uint64 {
 }
 
 // Len sums pending events across shards (undelivered ring records are not
-// counted; rings are empty between Run calls).
+// counted; rings are empty between Run calls). Same quiescence contract
+// as Processed: safe between Run calls and at barriers, racy mid-window.
 func (g *ShardGroup) Len() int {
 	total := 0
 	for _, e := range g.Engines {
@@ -236,9 +248,11 @@ func (g *ShardGroup) runCtrl(winEnd Time) {
 }
 
 // flushRings delivers every ring record to its destination engine, in
-// fixed (dst, src, FIFO) order. Runs single-threaded at the barrier.
-func (g *ShardGroup) flushRings() {
+// fixed (dst, src, FIFO) order, returning the number delivered. Runs
+// single-threaded at the barrier.
+func (g *ShardGroup) flushRings() int {
 	n := len(g.Engines)
+	delivered := 0
 	for dst := 0; dst < n; dst++ {
 		box := g.boxes[dst]
 		eng := g.Engines[dst]
@@ -252,9 +266,11 @@ func (g *ShardGroup) flushRings() {
 				}
 				eng.ScheduleEvent(ev.At, box, 0, uint64(box.put(ev)))
 			}
+			delivered += len(*ring)
 			*ring = (*ring)[:0]
 		}
 	}
+	return delivered
 }
 
 // Run executes the group until no work remains below horizon (exclusive),
@@ -295,30 +311,53 @@ func (g *ShardGroup) Run(horizon Time) uint64 {
 			winEnd = horizon
 		}
 		g.winStart, g.winEnd = start, winEnd
+		if g.probe != nil {
+			g.probe.WindowStart(start, winEnd)
+		}
 		for _, e := range g.Engines {
 			e.AdvanceTo(start)
 		}
 		g.runCtrl(winEnd)
+		if g.probe != nil {
+			g.probe.WindowExec()
+		}
 		if parallel {
 			var wg sync.WaitGroup
 			wg.Add(len(g.Engines))
-			for _, e := range g.Engines {
-				go func(e *Engine) {
+			for i, e := range g.Engines {
+				go func(i int, e *Engine) {
 					defer wg.Done()
+					before := e.Processed
 					e.Run(winEnd)
-				}(e)
+					if g.probe != nil {
+						g.probe.ShardDone(i, e.Processed-before)
+					}
+				}(i, e)
 			}
 			wg.Wait()
 		} else {
-			for _, e := range g.Engines {
+			for i, e := range g.Engines {
+				before := e.Processed
 				e.Run(winEnd)
+				if g.probe != nil {
+					g.probe.ShardDone(i, e.Processed-before)
+				}
 			}
 		}
 		g.now = winEnd
+		if g.probe != nil {
+			g.probe.BarrierStart(winEnd)
+		}
 		for _, fn := range g.barrierFns {
 			fn(winEnd)
 		}
-		g.flushRings()
+		if g.probe != nil {
+			g.probe.FlushStart()
+		}
+		flushed := g.flushRings()
+		if g.probe != nil {
+			g.probe.WindowEnd(flushed)
+		}
 	}
 	return g.Processed() - startProcessed
 }

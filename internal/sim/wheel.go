@@ -61,6 +61,13 @@ type wheel struct {
 	// occ is the slot-occupancy bitmap (one bit per slot, indexed like
 	// slots); it lets the drain loop skip empty regions 64 slots at a time.
 	occ [wheelSlots / 64]uint64
+	// farOverflows counts events pushed beyond the ring span into the far
+	// heap; farMigrations counts the ones migrated back into a slot as the
+	// cursor advanced (cancelled far events recycle without migrating, so
+	// farMigrations <= farOverflows). Deterministic: both are functions of
+	// the event schedule, not of wall time or GOMAXPROCS.
+	farOverflows  uint64
+	farMigrations uint64
 }
 
 // EnableWheel switches the engine's scheduler into windowed-wheel mode.
@@ -75,6 +82,16 @@ func (e *Engine) EnableWheel() {
 // WheelEnabled reports whether the engine runs the windowed-wheel
 // scheduler.
 func (e *Engine) WheelEnabled() bool { return e.wheel != nil }
+
+// FarStats reports the wheel's far-heap traffic: events that overflowed
+// past the ring span into the binary heap, and those migrated back into
+// ring slots as the cursor advanced. Always (0, 0) in heap mode.
+func (e *Engine) FarStats() (overflows, migrations uint64) {
+	if e.wheel == nil {
+		return 0, 0
+	}
+	return e.wheel.farOverflows, e.wheel.farMigrations
+}
 
 // slotFor maps an absolute time to its ring slot.
 func slotFor(at Time) int { return int(at>>wheelSlotShift) & (wheelSlots - 1) }
@@ -120,6 +137,7 @@ func (e *Engine) wheelPush(ev *event) {
 		}
 		return
 	}
+	w.farOverflows++
 	e.heapPush(ev)
 }
 
@@ -134,6 +152,7 @@ func (e *Engine) migrateFar() {
 			e.recycle(ev)
 			continue
 		}
+		w.farMigrations++
 		e.slotInsert(ev)
 	}
 }

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace-event serialization, shared by every Perfetto-compatible
+// writer in the repo: the packet/control tracer (WriteChromeTrace) and
+// the wall-clock engine profiler (internal/perf). Producers build
+// []ChromeEvent and hand it to WriteChromeEvents; the envelope and field
+// encoding live here so every trace opens in the same UI.
+
+// ChromeEvent is one Chrome trace-event record (the JSON object format
+// Perfetto's legacy importer reads). Timestamps and durations are in
+// microseconds.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ProcessNameEvent returns the metadata record naming a process (track
+// group) in the trace viewer.
+func ProcessNameEvent(pid int, name string) ChromeEvent {
+	return ChromeEvent{Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+		Args: map[string]any{"name": name}}
+}
+
+// ThreadNameEvent returns the metadata record naming one track (thread)
+// within a process group.
+func ThreadNameEvent(pid, tid int, name string) ChromeEvent {
+	return ChromeEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name}}
+}
+
+// Us converts nanoseconds (virtual or wall) to the microsecond timestamps
+// Chrome traces use.
+func Us(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteChromeEvents serializes events inside the standard trace envelope.
+// The file loads directly in Perfetto and chrome://tracing.
+func WriteChromeEvents(w io.Writer, events []ChromeEvent) error {
+	out := struct {
+		TraceEvents     []ChromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ns"}
+	if out.TraceEvents == nil {
+		out.TraceEvents = []ChromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}

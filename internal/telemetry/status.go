@@ -31,6 +31,51 @@ type ShardStatus struct {
 	Pending int `json:"pending"`
 }
 
+// PerfShardStatus is one shard's wall-clock accounting from the engine
+// profiler: time spent executing windows vs. waiting at barriers. All
+// fields are wall-derived and therefore non-deterministic.
+type PerfShardStatus struct {
+	Shard int `json:"shard"`
+	// Events is the number of events the shard executed inside profiled
+	// windows (deterministic, unlike the times below).
+	Events uint64 `json:"events"`
+	// BusyNs is wall time spent executing window events; IdleNs is wall
+	// time spent waiting at barriers for slower shards (≈ imbalance).
+	BusyNs int64 `json:"busy_ns"`
+	IdleNs int64 `json:"idle_ns"`
+	// EventsPerSec is the shard's execution rate over its busy time.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// WindowP50Ns/WindowP99Ns are percentiles of the shard's per-window
+	// wall execution time.
+	WindowP50Ns float64 `json:"window_p50_ns"`
+	WindowP99Ns float64 `json:"window_p99_ns"`
+}
+
+// PerfStatus is the engine profiler's live snapshot: where wall-clock
+// time goes inside the window/barrier loop. Present on Status only when
+// a profiler is attached.
+type PerfStatus struct {
+	// Windows counts completed barrier windows (deterministic).
+	Windows uint64 `json:"windows"`
+	// WallNs is wall time spent inside profiled Execute calls.
+	WallNs int64 `json:"wall_ns"`
+	// CtrlNs/HookNs/FlushNs split the single-threaded barrier cost:
+	// barrier-task execution, OnBarrier hooks, and the ring flush.
+	CtrlNs  int64 `json:"ctrl_ns"`
+	HookNs  int64 `json:"hook_ns"`
+	FlushNs int64 `json:"flush_ns"`
+	// RemoteRecords counts cross-shard handoffs flushed (deterministic).
+	RemoteRecords uint64 `json:"remote_records"`
+	// ImbalanceRatio is max per-shard busy time over the mean (1 =
+	// perfectly balanced); IdleFraction is total barrier-wait over total
+	// shard wall time; EffectiveSpeedup is total busy time over the
+	// windowed wall time (the parallelism actually realized).
+	ImbalanceRatio   float64           `json:"imbalance_ratio"`
+	IdleFraction     float64           `json:"idle_fraction"`
+	EffectiveSpeedup float64           `json:"effective_speedup"`
+	Shards           []PerfShardStatus `json:"shards,omitempty"`
+}
+
 // Status is one published snapshot of a running simulation.
 type Status struct {
 	// Seq increments with every publish; SSE clients use it to detect
@@ -66,6 +111,9 @@ type Status struct {
 	// RingDepths is the cross-shard handoff ring occupancy sampled at the
 	// last barrier, flattened src*N+dst. Empty for serial runs.
 	RingDepths []int `json:"ring_depths,omitempty"`
+	// Perf carries the engine profiler's wall-clock accounting when a
+	// profiler is attached (nil otherwise — the common case).
+	Perf *PerfStatus `json:"perf,omitempty"`
 }
 
 // Board is the handoff point between sampler actors and the HTTP server:
@@ -123,6 +171,11 @@ func (b *Board) Latest() (Status, bool) {
 	// tick, and handlers serialize outside the lock.
 	s.Shards = append([]ShardStatus(nil), s.Shards...)
 	s.RingDepths = append([]int(nil), s.RingDepths...)
+	if s.Perf != nil {
+		p := *s.Perf
+		p.Shards = append([]PerfShardStatus(nil), p.Shards...)
+		s.Perf = &p
+	}
 	return s, b.have
 }
 

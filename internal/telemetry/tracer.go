@@ -176,30 +176,14 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 	return bw.Flush()
 }
 
-// chromeEvent is one Chrome trace-event record (the JSON object format
-// Perfetto's legacy importer reads). Timestamps and durations are in
-// microseconds.
-type chromeEvent struct {
-	Name string         `json:"name"`
-	Cat  string         `json:"cat,omitempty"`
-	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"`
-	Dur  float64        `json:"dur,omitempty"`
-	Pid  int            `json:"pid"`
-	Tid  int            `json:"tid"`
-	ID   string         `json:"id,omitempty"`
-	S    string         `json:"s,omitempty"`
-	Args map[string]any `json:"args,omitempty"`
-}
-
-// Synthetic process IDs grouping the trace rows in Perfetto.
+// Synthetic process IDs grouping the trace rows in Perfetto. Pids 1-3
+// belong to the packet tracer; the engine profiler (internal/perf) uses
+// its own pid so both traces can be concatenated without track clashes.
 const (
 	chromePidPackets = 1 // async packet spans, one track per source node
 	chromePidRouters = 2 // per-router hop slices (dur = queue wait)
 	chromePidControl = 3 // instant control/fault events
 )
-
-func us(ns int64) float64 { return float64(ns) / 1e3 }
 
 // WriteChromeTrace serializes the event log in Chrome trace-event format:
 // packet lifecycles become async spans (b/e pairs keyed by run:packet),
@@ -209,26 +193,19 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	if t == nil {
 		return nil
 	}
-	out := struct {
-		TraceEvents     []chromeEvent `json:"traceEvents"`
-		DisplayTimeUnit string        `json:"displayTimeUnit"`
-	}{DisplayTimeUnit: "ns"}
-	meta := func(pid int, name string) chromeEvent {
-		return chromeEvent{Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
-			Args: map[string]any{"name": name}}
+	events := []ChromeEvent{
+		ProcessNameEvent(chromePidPackets, "packets (by source node)"),
+		ProcessNameEvent(chromePidRouters, "routers (hop queue waits)"),
+		ProcessNameEvent(chromePidControl, "control plane"),
 	}
-	out.TraceEvents = append(out.TraceEvents,
-		meta(chromePidPackets, "packets (by source node)"),
-		meta(chromePidRouters, "routers (hop queue waits)"),
-		meta(chromePidControl, "control plane"))
 	for i := range t.events {
 		ev := &t.events[i]
 		id := fmt.Sprintf("%d:%d", ev.Run, ev.Pkt)
 		switch ev.Kind {
 		case KindInject:
-			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			events = append(events, ChromeEvent{
 				Name: fmt.Sprintf("pkt %d->%d", ev.Src, ev.Dst), Cat: "packet",
-				Ph: "b", Ts: us(ev.At), Pid: chromePidPackets, Tid: ev.Src, ID: id,
+				Ph: "b", Ts: Us(ev.At), Pid: chromePidPackets, Tid: ev.Src, ID: id,
 				Args: map[string]any{"bytes": ev.Val},
 			})
 		case KindDeliver, KindDrop:
@@ -236,15 +213,15 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			if ev.Kind == KindDrop {
 				args = map[string]any{"dropped_at_router": ev.Router}
 			}
-			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			events = append(events, ChromeEvent{
 				Name: fmt.Sprintf("pkt %d->%d", ev.Src, ev.Dst), Cat: "packet",
-				Ph: "e", Ts: us(ev.At), Pid: chromePidPackets, Tid: ev.Src, ID: id,
+				Ph: "e", Ts: Us(ev.At), Pid: chromePidPackets, Tid: ev.Src, ID: id,
 				Args: args,
 			})
 		case KindHop:
-			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			events = append(events, ChromeEvent{
 				Name: fmt.Sprintf("hop pkt %d", ev.Pkt), Cat: "hop",
-				Ph: "X", Ts: us(ev.At - ev.Dur), Dur: us(ev.Dur),
+				Ph: "X", Ts: Us(ev.At - ev.Dur), Dur: Us(ev.Dur),
 				Pid: chromePidRouters, Tid: ev.Router,
 				Args: map[string]any{"port": ev.Port, "wait_ns": ev.Dur},
 			})
@@ -256,14 +233,13 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			if tid < 0 {
 				tid = 0
 			}
-			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			events = append(events, ChromeEvent{
 				Name: string(ev.Kind), Cat: "control",
-				Ph: "i", Ts: us(ev.At), Pid: chromePidControl, Tid: tid, S: "t",
+				Ph: "i", Ts: Us(ev.At), Pid: chromePidControl, Tid: tid, S: "t",
 				Args: map[string]any{"src": ev.Src, "dst": ev.Dst,
 					"router": ev.Router, "dur_ns": ev.Dur, "val": ev.Val},
 			})
 		}
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(&out)
+	return WriteChromeEvents(w, events)
 }

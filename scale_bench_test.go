@@ -55,4 +55,5 @@ func BenchmarkScale4096(b *testing.B) {
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 	b.ReportMetric(float64(pkts)/float64(b.N), "pkts/op")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 }

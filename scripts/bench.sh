@@ -46,11 +46,13 @@ echo "$RAW" | awk -v benchtime="$BENCHTIME" -v cpus="$HOST_CPUS" '
         if ($i == "pkts/op")     r_pkts_op    = $(i-1)
         if ($i == "pkts/sec")    r_pkts_sec   = $(i-1)
         if ($i == "allocs/op")   r_allocs_op  = $(i-1)
+        if ($i == "gomaxprocs")  r_gmp        = $(i-1)
     }
     # Best-of across -count reps: keep the fastest rep.
     if (r_events_sec + 0 > events_sec + 0) {
         events_op = r_events_op; events_sec = r_events_sec; ns_event = r_ns_event
         pkts_op = r_pkts_op; pkts_sec = r_pkts_sec; allocs_op = r_allocs_op
+        gmp = r_gmp
     }
 }
 END {
@@ -60,6 +62,7 @@ END {
     printf "  \"scenario\": \"fat-tree 4-ary 3-tree (64 nodes), adaptive policy, uniform 800 Mbps, 1 ms injection + drain\",\n"
     printf "  \"cpu\": \"%s\",\n", cpu
     printf "  \"host_cpus\": %d,\n", cpus
+    printf "  \"gomaxprocs\": %d,\n", gmp
     printf "  \"benchtime\": \"%s\",\n", benchtime
     printf "  \"baseline\": {\n"
     printf "    \"description\": \"closure-heap engine before the typed-event refactor (same machine class, go1.24 linux/amd64)\",\n"
@@ -93,15 +96,27 @@ echo "$PARRAW" | awk -v benchtime="$BENCHTIME" -v cpus="$HOST_CPUS" '
     split($1, parts, "=")
     split(parts[2], tail, "-")
     shards = tail[1]
+    for (k in r_idle) delete r_idle[k]
+    r_nid = 0
     for (i = 1; i <= NF; i++) {
         if ($i == "events/sec") r_es = $(i-1)
         if ($i == "ns/event")   r_ne = $(i-1)
         if ($i == "events/op")  r_eo = $(i-1)
         if ($i == "pkts/sec")   r_ps = $(i-1)
+        if ($i == "gomaxprocs") r_gmp = $(i-1)
+        if ($i ~ /^idle_s[0-9]+_pct$/) {
+            k = substr($i, 7, length($i) - 10)
+            r_idle[k] = $(i-1)
+            if (k + 1 > r_nid) r_nid = k + 1
+        }
     }
-    # Best-of across -count reps, per shard count.
+    # Best-of across -count reps, per shard count; the idle fractions
+    # travel with their rep so the row stays internally consistent.
     if (r_es + 0 > es[shards] + 0) {
         es[shards] = r_es; ne[shards] = r_ne; eo[shards] = r_eo; ps[shards] = r_ps
+        gmp = r_gmp
+        nid[shards] = r_nid
+        for (k = 0; k < r_nid; k++) idle[shards, k] = r_idle[k]
     }
     if (!(shards in seen)) { order[++n] = shards; seen[shards] = 1 }
 }
@@ -112,13 +127,16 @@ END {
     printf "  \"scenario\": \"fat-tree 4-ary 3-tree (64 nodes), adaptive policy, uniform 800 Mbps, 1 ms injection + drain\",\n"
     printf "  \"cpu\": \"%s\",\n", cpu
     printf "  \"host_cpus\": %d,\n", cpus
+    printf "  \"gomaxprocs\": %d,\n", gmp
     printf "  \"benchtime\": \"%s\",\n", benchtime
-    printf "  \"note\": \"shards=1 is the serial reference engine (binary heap); shards>=2 run the conservative parallel engine (windowed wheel, one goroutine per shard when GOMAXPROCS>1). With host_cpus=1 the shard goroutines are time-sliced on one core, so the curve shows only the scheduler-algorithm difference; parallel wall-clock scaling requires host_cpus >= shards.\",\n"
+    printf "  \"note\": \"shards=1 is the serial reference engine (binary heap); shards>=2 run the conservative parallel engine (windowed wheel, one goroutine per shard when GOMAXPROCS>1). With host_cpus=1 the shard goroutines are time-sliced on one core, so the curve shows only the scheduler-algorithm difference; parallel wall-clock scaling requires host_cpus >= shards. idle_pct is each shard'\''s barrier-wait share of window wall time from the engine profiler (non-deterministic).\",\n"
     printf "  \"curve\": [\n"
     for (i = 1; i <= n; i++) {
         s = order[i]
-        printf "    {\"shards\": %s, \"events_per_sec\": %.0f, \"ns_per_event\": %s, \"events_per_op\": %.0f, \"pkts_per_sec\": %.0f, \"speedup_vs_serial\": %.3f}%s\n", \
-            s, es[s], ne[s], eo[s], ps[s], es[s] / es[order[1]], (i < n) ? "," : ""
+        printf "    {\"shards\": %s, \"events_per_sec\": %.0f, \"ns_per_event\": %s, \"events_per_op\": %.0f, \"pkts_per_sec\": %.0f, \"speedup_vs_serial\": %.3f, \"idle_pct\": [", \
+            s, es[s], ne[s], eo[s], ps[s], es[s] / es[order[1]]
+        for (k = 0; k < nid[s]; k++) printf "%s%.1f", (k ? ", " : ""), idle[s, k]
+        printf "]}%s\n", (i < n) ? "," : ""
     }
     printf "  ],\n"
     printf "  \"speedup_4x\": %.3f\n", es[4] / es[order[1]]
@@ -141,6 +159,7 @@ echo "$SCALERAW" | awk -v cpus="$HOST_CPUS" '
         if ($i == "pkts/op")         r_po = $(i-1)
         if ($i == "B/op")            r_bo = $(i-1)
         if ($i == "allocs/op")       r_ao = $(i-1)
+        if ($i == "gomaxprocs")      gmp  = $(i-1)
     }
     # Best-of across reps for throughput; minimum across reps for the
     # memory figures (the workload is seeded per rep, so lower = less GC
@@ -158,6 +177,7 @@ END {
     printf "  \"scenario\": \"dragonfly df-16-32-8-8 (4096 nodes, 512 routers), pr-drb, cache-CDF grouplocal heavy-tail @ 100 Mbps/node, 50 us window, 4 shards\",\n"
     printf "  \"cpu\": \"%s\",\n", cpu
     printf "  \"host_cpus\": %d,\n", cpus
+    printf "  \"gomaxprocs\": %d,\n", gmp
     printf "  \"nodes\": %d,\n", nodes
     printf "  \"heap_bytes_per_node\": %.0f,\n", hb
     printf "  \"alloc_bytes_per_node\": %.1f,\n", bo / nodes

@@ -1,43 +1,77 @@
 #!/bin/sh
-# bench_gate.sh — the CI benchmark-regression gate.
+# bench_gate.sh — the CI benchmark-regression gates.
 #
-# Runs BenchmarkHotPath for REPS repetitions at a short benchtime, takes
-# the best rep (max events/sec — best-of damps scheduler and neighbour
-# noise on shared runners), and compares it against the committed
-# baseline artifact BENCH_hotpath.json:
+# Hot-path gate: runs BenchmarkHotPath for REPS repetitions at a short
+# benchtime, takes the best rep (max events/sec — best-of damps scheduler
+# and neighbour noise on shared runners), and compares it against the
+# committed baseline artifact BENCH_hotpath.json:
 #
 #   - events/sec may not regress more than MAX_REGRESS_PCT (default 20%)
 #   - allocs/event may not increase at all (beyond a 0.002 absolute
 #     epsilon that absorbs amortised slice-growth jitter)
 #
-# The raw `go test -bench` output is written to $BENCH_OUT (default
-# bench_raw.txt) so CI can upload it as an artifact.
+# Scale gate: BenchmarkScale4096 per-node heap/alloc ceilings against
+# BENCH_scale.json (see the section comment below).
+#
+# Curve gate: BenchmarkParallelShards speedup-vs-serial per shard count
+# against the committed BENCH_parallel.json curve. A point is ENFORCED
+# only when this host has at least that many CPUs (otherwise the shard
+# goroutines are time-sliced and the "speedup" measures the scheduler,
+# not parallelism) and the baseline was recorded on a host with the same
+# CPU count; every other point is reported warn-only.
+#
+# Wall-clock benchmarks are only comparable between machines of the same
+# shape, so every gate first checks the baseline's recorded host_cpus
+# against this host and REFUSES the comparison (warn, not fail) on a
+# mismatch. Regenerate the artifacts with scripts/bench.sh on the CI
+# machine class to re-arm a skipped gate.
+#
+# The raw `go test -bench` outputs go to $BENCH_OUT / $SCALE_OUT /
+# $PAR_OUT so CI can upload them as artifacts.
 #
 # Usage: scripts/bench_gate.sh [benchtime, default 1s] [reps, default 3]
+# Env:   CURVE_ONLY=1   run only the scaling-curve gate
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
 REPS="${2:-3}"
 MAX_REGRESS_PCT="${MAX_REGRESS_PCT:-20}"
+CURVE_REGRESS_PCT="${CURVE_REGRESS_PCT:-25}"
 BENCH_OUT="${BENCH_OUT:-bench_raw.txt}"
-BASELINE=BENCH_hotpath.json
+SCALE_OUT="${SCALE_OUT:-bench_scale_raw.txt}"
+PAR_OUT="${PAR_OUT:-bench_parallel_raw.txt}"
 
+HOST_CPUS=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
+# baseline_cpus FILE — the host_cpus the artifact was recorded on.
+baseline_cpus() {
+    sed -n 's/.*"host_cpus": \([0-9]*\),*.*/\1/p' "$1" | sed -n 1p
+}
+
+if [ "${CURVE_ONLY:-0}" != "1" ]; then
+
+# --- hot-path gate ----------------------------------------------------
+BASELINE=BENCH_hotpath.json
 [ -f "$BASELINE" ] || { echo "bench_gate: missing $BASELINE" >&2; exit 1; }
 
 # Pull the committed numbers out of the baseline artifact (POSIX tools
 # only — the gate must run anywhere the tests run).
 base_events=$(sed -n 's/.*"events_per_sec": \([0-9.]*\),*/\1/p' "$BASELINE" | sed -n 2p)
 base_allocs=$(sed -n 's/.*"allocs_per_event": \([0-9.]*\),*/\1/p' "$BASELINE" | sed -n 2p)
+base_cpus=$(baseline_cpus "$BASELINE")
 [ -n "$base_events" ] && [ -n "$base_allocs" ] || {
     echo "bench_gate: could not parse baseline from $BASELINE" >&2; exit 1
 }
 
-echo "==> baseline: $base_events events/sec, $base_allocs allocs/event"
+echo "==> baseline: $base_events events/sec, $base_allocs allocs/event (host_cpus=${base_cpus:-?})"
 echo "==> go test -bench BenchmarkHotPath -benchtime $BENCHTIME -count $REPS"
 go test -run '^$' -bench BenchmarkHotPath -benchtime "$BENCHTIME" -count "$REPS" \
     -benchmem . | tee "$BENCH_OUT"
 
+if [ "${base_cpus:-}" != "$HOST_CPUS" ]; then
+    echo "bench_gate: SKIP hot-path comparison — baseline host_cpus=${base_cpus:-unset}, this host has $HOST_CPUS (regenerate $BASELINE on this machine class to re-arm)"
+else
 awk -v base_events="$base_events" -v base_allocs="$base_allocs" \
     -v max_regress="$MAX_REGRESS_PCT" '
 /^BenchmarkHotPath/ {
@@ -66,6 +100,7 @@ END {
     if (fail) exit 1
     print "==> bench gate OK"
 }' "$BENCH_OUT"
+fi
 
 # --- datacenter-scale memory gate -------------------------------------
 # BenchmarkScale4096 assembles the 4096-node dragonfly under heavy-tail
@@ -73,8 +108,9 @@ END {
 # and allocation count. Heap may not grow more than 15% and allocs/node
 # more than 10% + 0.5 absolute — an accidental O(nodes^2) table blows
 # both by orders of magnitude, while GC jitter stays inside the margin.
+# (Per-node memory is machine-shape independent, so this gate does not
+# need the host_cpus guard the wall-clock gates use.)
 SCALE_BASELINE=BENCH_scale.json
-SCALE_OUT="${SCALE_OUT:-bench_scale_raw.txt}"
 
 [ -f "$SCALE_BASELINE" ] || { echo "bench_gate: missing $SCALE_BASELINE" >&2; exit 1; }
 
@@ -120,3 +156,72 @@ END {
     if (fail) exit 1
     print "==> scale gate OK"
 }' "$SCALE_OUT"
+
+fi # CURVE_ONLY
+
+# --- parallel scaling-curve gate --------------------------------------
+# The 1/2/4/8-shard speedup curve from BenchmarkParallelShards against
+# the committed BENCH_parallel.json. speedup_vs_serial is a wall-clock
+# ratio measured inside one run, so it survives machine-speed differences
+# but NOT machine-shape differences: a point is enforced only when
+# host_cpus >= shards here AND the baseline's host_cpus matches.
+PAR_BASELINE=BENCH_parallel.json
+[ -f "$PAR_BASELINE" ] || { echo "bench_gate: missing $PAR_BASELINE" >&2; exit 1; }
+
+par_base_cpus=$(baseline_cpus "$PAR_BASELINE")
+base_curve=$(sed -n 's/.*{"shards": \([0-9]*\),.*"speedup_vs_serial": \([0-9.]*\).*/\1 \2/p' "$PAR_BASELINE")
+[ -n "$base_curve" ] || {
+    echo "bench_gate: could not parse curve from $PAR_BASELINE" >&2; exit 1
+}
+
+echo "==> curve baseline (host_cpus=${par_base_cpus:-?}):"
+echo "$base_curve" | while read -r s sp; do echo "      shards=$s speedup_vs_serial=$sp"; done
+echo "==> go test -bench BenchmarkParallelShards -benchtime $BENCHTIME -count $REPS"
+go test -run '^$' -bench BenchmarkParallelShards -benchtime "$BENCHTIME" -count "$REPS" \
+    . | tee "$PAR_OUT"
+
+echo "$base_curve" | awk -v host_cpus="$HOST_CPUS" -v base_cpus="${par_base_cpus:-0}" \
+    -v max_regress="$CURVE_REGRESS_PCT" -v raw="$PAR_OUT" '
+{ base[$1] = $2; if (!($1 in bseen)) { border[++bn] = $1; bseen[$1] = 1 } }
+END {
+    while ((getline line < raw) > 0) {
+        if (line !~ /^BenchmarkParallelShards\//) continue
+        nf = split(line, f, /[ \t]+/)
+        split(f[1], parts, "=")
+        split(parts[2], tail, "-")
+        shards = tail[1]
+        r_es = 0
+        for (i = 1; i <= nf; i++) {
+            if (f[i] == "events/sec") r_es = f[i-1]
+            if (f[i] == "gomaxprocs") gmp = f[i-1]
+        }
+        if (r_es + 0 > es[shards] + 0) es[shards] = r_es
+    }
+    close(raw)
+    if (!(1 in es)) { print "bench_gate: no shards=1 reference in " raw > "/dev/stderr"; exit 1 }
+    comparable = (base_cpus + 0 == host_cpus + 0)
+    if (!comparable)
+        printf "bench_gate: curve baseline host_cpus=%d, this host has %d — all points warn-only (regenerate %s on this machine class to re-arm)\n", \
+            base_cpus, host_cpus, "BENCH_parallel.json"
+    if (gmp + 0 > 0 && gmp + 0 != host_cpus + 0)
+        printf "bench_gate: note — GOMAXPROCS=%d differs from host_cpus=%d\n", gmp, host_cpus
+    fail = 0
+    for (i = 1; i <= bn; i++) {
+        s = border[i]
+        if (!(s in es)) { printf "bench_gate: curve point shards=%s missing from this run\n", s; fail = 1; continue }
+        sp = es[s] / es[1]
+        floor = base[s] * (1 - max_regress / 100)
+        enforced = comparable && (host_cpus + 0 >= s + 0)
+        status = enforced ? "ENFORCED" : "warn-only"
+        verdict = (sp >= floor) ? "ok" : "BELOW FLOOR"
+        printf "==> shards=%s: speedup %.3f (baseline %.3f, floor %.3f) [%s] %s\n", \
+            s, sp, base[s], floor, status, verdict
+        if (enforced && sp < floor) {
+            printf "bench_gate: FAIL — shards=%s speedup regressed >%s%% (%.3f < %.3f)\n", \
+                s, max_regress, sp, floor
+            fail = 1
+        }
+    }
+    if (fail) exit 1
+    print "==> curve gate OK"
+}'

@@ -134,4 +134,40 @@ grep -q '## causal decision summary' "$teldir/obs-report.txt" || {
 }
 echo "    status scraped from $status_addr; exposition, trace and report validated"
 
+echo "==> engine-profiler smoke (-perf artifacts, deterministic-section stability)"
+# Two identical-seed 4-shard runs with the profiler on: the Perfetto
+# timeline must validate, the run summary must match a profiler-off run
+# byte for byte (zero interference), and `prdrbtrace perf -det` must
+# render byte-identically across the two runs — wall clock moves, the
+# deterministic counters may not.
+perf_off=$("$teldir/prdrbsim" -topology ft-4-3 -policy pr-drb -pattern shuffle \
+    -rate 400 -duration 400us -shards 4)
+perf_a=$("$teldir/prdrbsim" -topology ft-4-3 -policy pr-drb -pattern shuffle \
+    -rate 400 -duration 400us -shards 4 \
+    -perf "$teldir/perf-a.json" -perf-trace "$teldir/perf.trace.json" 2>/dev/null)
+"$teldir/prdrbsim" -topology ft-4-3 -policy pr-drb -pattern shuffle \
+    -rate 400 -duration 400us -shards 4 -perf "$teldir/perf-b.json" \
+    >/dev/null 2>&1
+[ "$perf_off" = "$perf_a" ] || {
+    echo "verify: -perf changed the run summary:" >&2
+    printf 'off: %s\non:  %s\n' "$perf_off" "$perf_a" >&2
+    exit 1
+}
+"$teldir/prdrbtrace" perf -report "$teldir/perf-a.json" -det \
+    -trace "$teldir/perf.trace.json" >"$teldir/perf-a.det"
+"$teldir/prdrbtrace" perf -report "$teldir/perf-b.json" -det >"$teldir/perf-b.det"
+# Strip the trace-validation line (only run A wrote a trace) before
+# comparing the deterministic sections.
+grep -v '^perf trace:' "$teldir/perf-a.det" >"$teldir/perf-a.det.stripped"
+cmp -s "$teldir/perf-a.det.stripped" "$teldir/perf-b.det" || {
+    echo "verify: deterministic perf counters differ across identical-seed runs:" >&2
+    diff "$teldir/perf-a.det.stripped" "$teldir/perf-b.det" >&2 || true
+    exit 1
+}
+grep -q '^perf trace: .* ok' "$teldir/perf-a.det" || {
+    echo "verify: Perfetto perf trace failed validation" >&2
+    exit 1
+}
+echo "    -perf run byte-identical to profiler-off; det counters stable; trace ok"
+
 echo "==> verify OK"
