@@ -1,0 +1,58 @@
+package prdrb
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// BenchmarkCheckpoint measures the checkpoint cost at the dc.scale shape
+// (the BenchmarkScale4096 scenario): how large a full-state capture of a
+// 4096-node dragonfly under heavy-tail traffic is, how long the atomic
+// write takes, and how long a resume (replay to the checkpoint plus
+// byte-verification) takes. scripts/bench.sh turns the output into
+// BENCH_checkpoint.json.
+func BenchmarkCheckpoint(b *testing.B) {
+	build := func() *Sim {
+		s := MustNewSim(Experiment{
+			Topology: Dragonfly(16, 32, 8, 8),
+			Policy:   PolicyPRDRB,
+			Seed:     1,
+			Shards:   4,
+		})
+		if err := s.InstallHeavyTail(HeavyTailSpec{
+			CDF: "cache", Pattern: "grouplocal", PLocal: 0.7,
+			LoadMbps: 100,
+			OnMean:   50 * Microsecond,
+			End:      50 * Microsecond,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	path := filepath.Join(b.TempDir(), "bench.ckpt")
+	var ckptBytes, writeNs, restoreNs float64
+	for i := 0; i < b.N; i++ {
+		s := build()
+		s.Execute(s.AlignCheckpoint(25 * Microsecond))
+		t0 := time.Now()
+		n, err := s.WriteCheckpoint(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		writeNs += float64(time.Since(t0).Nanoseconds())
+		ckptBytes = float64(n)
+
+		r := build()
+		t1 := time.Now()
+		if _, err := r.Resume(path); err != nil {
+			b.Fatal(err)
+		}
+		restoreNs += float64(time.Since(t1).Nanoseconds())
+	}
+	b.ReportMetric(ckptBytes, "ckpt_bytes")
+	b.ReportMetric(writeNs/float64(b.N), "write_ns")
+	b.ReportMetric(restoreNs/float64(b.N), "restore_ns")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}

@@ -1,0 +1,246 @@
+package prdrb
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"prdrb/internal/faults"
+)
+
+// Checkpoint/resume equivalence tests. Each scenario runs three ways:
+// uninterrupted, checkpointed-at-t/2 (same process, capture is passive),
+// and resumed-from-file (fresh simulation replayed to the checkpoint and
+// byte-verified against it, then continued). The resumed run must match
+// the uninterrupted run exactly — summary string, per-destination
+// delivered counts, drop/recovery counters.
+
+// ckptScenario builds one configured simulation. Each call must return a
+// fresh but identically configured instance — the resume contract.
+type ckptScenario struct {
+	name  string
+	build func(t *testing.T) *Sim
+	// horizon is the uninterrupted run's Execute horizon.
+	horizon Time
+	// at is the checkpoint time (aligned by the test).
+	at Time
+}
+
+// deliveredVector snapshots per-destination delivered message counts —
+// the "delivered set" fingerprint pinned across resume.
+func deliveredVector(s *Sim) []int64 {
+	out := make([]int64, len(s.Net.NICs))
+	for i, nic := range s.Net.NICs {
+		out[i] = nic.Delivered
+	}
+	return out
+}
+
+func runCkptScenario(t *testing.T, sc ckptScenario) {
+	t.Helper()
+
+	// Uninterrupted reference.
+	ref := sc.build(t)
+	refRes := ref.Execute(sc.horizon)
+	refSummary := fmt.Sprintf("%s p50=%.3f p99=%.3f dropped=%d unreachable=%d recoveries=%d",
+		refRes.String(), refRes.P50Us, refRes.P99Us, refRes.DroppedPkts, refRes.UnreachableMsgs, refRes.Recoveries)
+	refDelivered := deliveredVector(ref)
+
+	// Checkpoint writer: run to the aligned capture point, write, finish.
+	writer := sc.build(t)
+	at := writer.AlignCheckpoint(sc.at)
+	writer.Execute(at)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	n, err := writer.WriteCheckpoint(path)
+	if err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	if n == 0 {
+		t.Fatalf("empty checkpoint")
+	}
+	wRes := writer.Execute(sc.horizon)
+	if got := wRes.String(); got != refRes.String() {
+		t.Fatalf("capture perturbed the run:\nref: %s\ngot: %s", refRes.String(), got)
+	}
+
+	// Resumed run: fresh simulation, replay-verify to the checkpoint,
+	// continue to the horizon.
+	resumed := sc.build(t)
+	meta, err := resumed.Resume(path)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if meta.At != at {
+		t.Fatalf("resumed at %v, checkpoint was %v", meta.At, at)
+	}
+	resRes := resumed.Execute(sc.horizon)
+	resSummary := fmt.Sprintf("%s p50=%.3f p99=%.3f dropped=%d unreachable=%d recoveries=%d",
+		resRes.String(), resRes.P50Us, resRes.P99Us, resRes.DroppedPkts, resRes.UnreachableMsgs, resRes.Recoveries)
+	if resSummary != refSummary {
+		t.Fatalf("resumed summary diverged:\nref: %s\ngot: %s", refSummary, resSummary)
+	}
+	resDelivered := deliveredVector(resumed)
+	for i := range refDelivered {
+		if refDelivered[i] != resDelivered[i] {
+			t.Fatalf("delivered set diverged at node %d: ref %d, resumed %d",
+				i, refDelivered[i], resDelivered[i])
+		}
+	}
+}
+
+func TestCheckpointResumeSerial(t *testing.T) {
+	runCkptScenario(t, ckptScenario{
+		name: "serial-bursts",
+		build: func(t *testing.T) *Sim {
+			s := MustNewSim(Experiment{Topology: FatTree(4, 3), Policy: PolicyPRDRB, Seed: 42})
+			if _, err := s.InstallBursts(BurstSpec{
+				Pattern: "shuffle", RateMbps: 900,
+				Len: 150 * Microsecond, Gap: 150 * Microsecond,
+				Count: 2, PatternNodes: 32,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		horizon: 5 * Millisecond,
+		at:      300 * Microsecond,
+	})
+}
+
+func TestCheckpointResumeSharded(t *testing.T) {
+	runCkptScenario(t, ckptScenario{
+		name: "sharded-shuffle",
+		build: func(t *testing.T) *Sim {
+			s := MustNewSim(Experiment{Topology: FatTree(4, 3), Policy: PolicyPRDRB, Seed: 42, Shards: 4})
+			if err := s.InstallPattern(PatternSpec{
+				Pattern: "shuffle", RateMbps: 400, Start: 0, End: 400 * Microsecond,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		horizon: 5 * Millisecond,
+		at:      200 * Microsecond,
+	})
+}
+
+// TestCheckpointResumeMidFlap checkpoints inside a link flap cycle: the
+// link is down at capture time and comes back after it, so the resumed
+// run must reconstruct the failed-link state and the repair event.
+func TestCheckpointResumeMidFlap(t *testing.T) {
+	runCkptScenario(t, ckptScenario{
+		name: "faulted-mid-flap",
+		build: func(t *testing.T) *Sim {
+			s := MustNewSim(Experiment{Topology: Mesh(4, 4), Policy: PolicyPRDRB, Seed: 23})
+			// Flap a core link: down at 50us/250us/450us, up 100us later.
+			plan := faults.FlappingLink(5, 1, 50*Microsecond, 200*Microsecond, 3)
+			if _, err := s.InstallFaults(plan); err != nil {
+				t.Fatal(err)
+			}
+			s.InstallHotSpot(map[NodeID]NodeID{0: 15, 3: 12, 5: 10, 12: 3, 15: 0, 10: 5},
+				1200, 0, 600*Microsecond)
+			return s
+		},
+		horizon: 5 * Millisecond,
+		// 120us: after the first down (50us), before its repair (150us).
+		at: 120 * Microsecond,
+	})
+}
+
+// TestCheckpointResumeMidRepair checkpoints between a random fault's
+// failure and its repair, with more faults still scheduled after the
+// capture point.
+func TestCheckpointResumeMidRepair(t *testing.T) {
+	runCkptScenario(t, ckptScenario{
+		name: "faulted-mid-repair",
+		build: func(t *testing.T) *Sim {
+			s := MustNewSim(Experiment{Topology: Mesh(4, 4), Policy: PolicyPRDRB, Seed: 23})
+			plan := RandomLinkFaults(s.Net.Topo, 23, 3, 50*Microsecond, 100*Microsecond, 300*Microsecond)
+			if _, err := s.InstallFaults(plan); err != nil {
+				t.Fatal(err)
+			}
+			s.InstallHotSpot(map[NodeID]NodeID{0: 15, 3: 12, 5: 10, 12: 3, 15: 0, 10: 5},
+				1200, 0, 400*Microsecond)
+			return s
+		},
+		horizon: Second,
+		// Faults start in [50us, 150us) and repair 300us later: 200us sits
+		// inside every fault's down window.
+		at: 200 * Microsecond,
+	})
+}
+
+// TestCheckpointResumeShardedFaulted combines both hard cases: a sharded
+// run with mid-flight faults, captured at a window barrier.
+func TestCheckpointResumeShardedFaulted(t *testing.T) {
+	runCkptScenario(t, ckptScenario{
+		name: "sharded-faulted",
+		build: func(t *testing.T) *Sim {
+			s := MustNewSim(Experiment{Topology: Mesh(4, 4), Policy: PolicyPRDRB, Seed: 23, Shards: 2})
+			plan := RandomLinkFaults(s.Net.Topo, 23, 2, 50*Microsecond, 100*Microsecond, 300*Microsecond)
+			if _, err := s.InstallFaults(plan); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.InstallPattern(PatternSpec{
+				Pattern: "uniform", RateMbps: 300, Start: 0, End: 400 * Microsecond,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		horizon: 5 * Millisecond,
+		at:      200 * Microsecond,
+	})
+}
+
+// TestCheckpointAllPolicies round-trips a short run under every routing
+// policy — the encoders must handle non-predictive controllers (no
+// solution database) and every policy's own RNG/cycle state.
+func TestCheckpointAllPolicies(t *testing.T) {
+	for _, p := range Policies() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			runCkptScenario(t, ckptScenario{
+				name: "policy-" + string(p),
+				build: func(t *testing.T) *Sim {
+					s := MustNewSim(Experiment{Topology: FatTree(4, 3), Policy: p, Seed: 7})
+					if err := s.InstallPattern(PatternSpec{
+						Pattern: "shuffle", RateMbps: 300, Start: 0, End: 200 * Microsecond,
+					}); err != nil {
+						t.Fatal(err)
+					}
+					return s
+				},
+				horizon: 2 * Millisecond,
+				at:      100 * Microsecond,
+			})
+		})
+	}
+}
+
+// TestResumeRefusesMismatch pins the refusal paths: wrong seed (config
+// digest), wrong shard count, and a corrupted file.
+func TestResumeRefusesMismatch(t *testing.T) {
+	build := func(seed uint64, shards int) *Sim {
+		s := MustNewSim(Experiment{Topology: FatTree(4, 3), Policy: PolicyPRDRB, Seed: seed, Shards: shards})
+		if err := s.InstallPattern(PatternSpec{
+			Pattern: "shuffle", RateMbps: 400, Start: 0, End: 200 * Microsecond,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	w := build(42, 1)
+	w.Execute(w.AlignCheckpoint(100 * Microsecond))
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if _, err := w.WriteCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := build(43, 1).Resume(path); err == nil {
+		t.Fatalf("resume accepted a different seed")
+	}
+	if _, err := build(42, 2).Resume(path); err == nil {
+		t.Fatalf("resume accepted a different shard count")
+	}
+}

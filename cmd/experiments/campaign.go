@@ -1,0 +1,417 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"prdrb"
+	"prdrb/internal/ckpt"
+	"prdrb/internal/telemetry"
+)
+
+// Campaign mode turns the experiments harness into a resumable sweep
+// service: a manifest JSON describes a parameter grid (topologies x
+// policies x patterns x rates x seeds), and the scheduler runs every cell
+// through a bounded worker pool. Campaigns are keyed by the manifest's
+// content hash: each cell's result JSON is committed atomically when the
+// cell finishes, so re-running a killed or interrupted campaign skips
+// every completed cell and resumes in-flight cells from their periodic
+// simulation checkpoints instead of starting over.
+
+// campaignManifest is the parameter grid, decoded from JSON. Every list
+// axis cross-products with the others; scalar fields apply to all cells.
+type campaignManifest struct {
+	// Topologies are registry specs, e.g. "ft-4-3", "mesh-4x4".
+	Topologies []string `json:"topologies"`
+	// Policies are routing policy names, e.g. "pr-drb".
+	Policies []string `json:"policies"`
+	// Patterns are synthetic traffic patterns, e.g. "shuffle".
+	Patterns []string `json:"patterns"`
+	// RatesMbps are per-node injection rates.
+	RatesMbps []float64 `json:"rates_mbps"`
+	// Seeds are simulation seeds (one cell per seed).
+	Seeds []uint64 `json:"seeds"`
+	// Duration is the injection window as a Go duration ("400us").
+	Duration string `json:"duration"`
+	// Faults optionally applies one fault plan spec to every cell.
+	Faults string `json:"faults,omitempty"`
+	// Shards selects the engine layout for every cell (0/1 = serial).
+	Shards int `json:"shards,omitempty"`
+}
+
+// campaignCell is one grid point.
+type campaignCell struct {
+	Name     string  `json:"cell"`
+	Topology string  `json:"topology"`
+	Policy   string  `json:"policy"`
+	Pattern  string  `json:"pattern"`
+	RateMbps float64 `json:"rate_mbps"`
+	Seed     uint64  `json:"seed"`
+}
+
+// cellResult is the committed per-cell artifact.
+type cellResult struct {
+	campaignCell
+	GlobalLatencyUs float64 `json:"global_latency_us"`
+	P99Us           float64 `json:"p99_us"`
+	AcceptedRatio   float64 `json:"accepted_ratio"`
+	DeliveredPkts   int64   `json:"delivered_pkts"`
+	DroppedPkts     int64   `json:"dropped_pkts"`
+	Recoveries      int64   `json:"recoveries"`
+	Events          uint64  `json:"events"`
+	WallSec         float64 `json:"wall_sec"`
+	Resumed         bool    `json:"resumed,omitempty"`
+}
+
+// campaignOpts carries the harness flags into the scheduler.
+type campaignOpts struct {
+	manifestPath string
+	dir          string
+	workers      int
+	ckptEvery    time.Duration
+	shards       int
+	board        *telemetry.Board
+	live         *telemetry.LiveStats
+}
+
+// cellState is the scheduler's live view of one cell, folded into the
+// /fleet snapshot.
+type cellState struct {
+	state     string // queued | running | done | failed | skipped
+	virtualNs int64
+	horizonNs int64
+}
+
+// expand cross-products the manifest axes into named cells. Cell names
+// are stable — they key the result files — so the order of axes here is
+// part of the campaign format.
+func (m *campaignManifest) expand() []campaignCell {
+	var cells []campaignCell
+	for _, topo := range m.Topologies {
+		for _, pol := range m.Policies {
+			for _, pat := range m.Patterns {
+				for _, rate := range m.RatesMbps {
+					for _, seed := range m.Seeds {
+						cells = append(cells, campaignCell{
+							Name:     fmt.Sprintf("%s__%s__%s__%g__s%d", topo, pol, pat, rate, seed),
+							Topology: topo, Policy: pol, Pattern: pat,
+							RateMbps: rate, Seed: seed,
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+func (m *campaignManifest) validate() (prdrb.Time, error) {
+	if len(m.Topologies) == 0 || len(m.Policies) == 0 || len(m.Patterns) == 0 ||
+		len(m.RatesMbps) == 0 || len(m.Seeds) == 0 {
+		return 0, fmt.Errorf("campaign manifest needs non-empty topologies, policies, patterns, rates_mbps and seeds")
+	}
+	d, err := time.ParseDuration(m.Duration)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("campaign manifest needs a positive duration, got %q", m.Duration)
+	}
+	return prdrb.Time(d.Nanoseconds()), nil
+}
+
+// runCampaign executes the manifest grid and returns the number of failed
+// cells. Completed cells (result JSON present in the campaign directory)
+// are skipped; cells with a checkpoint resume mid-simulation.
+func runCampaign(opts campaignOpts) int {
+	raw, err := os.ReadFile(opts.manifestPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		return 1
+	}
+	var m campaignManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %s: %v\n", opts.manifestPath, err)
+		return 1
+	}
+	duration, err := m.validate()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		return 1
+	}
+	if opts.shards > 1 && m.Shards == 0 {
+		m.Shards = opts.shards
+	}
+
+	// The campaign key is the manifest's content hash: the same grid always
+	// lands in the same directory, so a re-run sees its own prior results.
+	key := fmt.Sprintf("%016x", ckpt.DigestStrings(string(raw)))
+	dir := filepath.Join(opts.dir, key)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		return 1
+	}
+	// Sweep temp files a killed run left behind: every committed artifact
+	// and checkpoint was renamed into place, so anything still named .tmp*
+	// is an abandoned partial write.
+	if stale, err := filepath.Glob(filepath.Join(dir, "*.tmp*")); err == nil {
+		for _, p := range stale {
+			os.Remove(p)
+		}
+	}
+	// Keep a copy of the manifest next to the results for provenance.
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+		if a, err := createArtifact(filepath.Join(dir, "manifest.json")); err == nil {
+			a.Write(raw)
+			a.Commit()
+		}
+	}
+
+	cells := m.expand()
+	fmt.Printf("campaign %s: %d cells, %d workers, dir %s\n", key, len(cells), opts.workers, dir)
+
+	states := struct {
+		sync.Mutex
+		m map[string]*cellState
+	}{m: make(map[string]*cellState, len(cells))}
+	horizon := duration + prdrb.Second
+	for _, c := range cells {
+		states.m[c.Name] = &cellState{state: "queued", horizonNs: int64(horizon)}
+	}
+	setState := func(name, st string, vns int64) {
+		states.Lock()
+		cs := states.m[name]
+		cs.state = st
+		if vns >= 0 {
+			cs.virtualNs = vns
+		}
+		states.Unlock()
+	}
+	publishFleet := func() {
+		if opts.board == nil {
+			return
+		}
+		f := telemetry.FleetStatus{Campaign: key, Total: len(cells)}
+		if opts.live != nil {
+			f.EventsProcessed = opts.live.Events.Load()
+		}
+		states.Lock()
+		for name, cs := range states.m {
+			switch cs.state {
+			case "running":
+				f.Running++
+			case "done":
+				f.Done++
+			case "failed":
+				f.Failed++
+			case "skipped":
+				f.Skipped++
+			}
+			f.Cells = append(f.Cells, telemetry.FleetCellStatus{
+				Cell: name, State: cs.state,
+				VirtualNs: cs.virtualNs, HorizonNs: cs.horizonNs,
+			})
+		}
+		states.Unlock()
+		sort.Slice(f.Cells, func(i, j int) bool { return f.Cells[i].Cell < f.Cells[j].Cell })
+		opts.board.PublishFleet(f)
+	}
+	if opts.board != nil {
+		publishFleet()
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			t := time.NewTicker(250 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					publishFleet()
+				}
+			}
+		}()
+	}
+
+	jobs := make(chan campaignCell)
+	type outcome struct {
+		cell    campaignCell
+		status  string // done | failed | skipped
+		resumed bool
+		err     error
+		elapsed float64
+	}
+	results := make(chan outcome)
+	workers := opts.workers
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for c := range jobs {
+				start := time.Now()
+				resultPath := filepath.Join(dir, c.Name+".json")
+				if _, err := os.Stat(resultPath); err == nil {
+					setState(c.Name, "skipped", int64(horizon))
+					results <- outcome{cell: c, status: "skipped"}
+					continue
+				}
+				setState(c.Name, "running", 0)
+				res, resumed, err := runCampaignCell(c, &m, duration, dir, opts,
+					func(vns int64) { setState(c.Name, "running", vns) })
+				if err != nil {
+					setState(c.Name, "failed", -1)
+					results <- outcome{cell: c, status: "failed", err: err, elapsed: time.Since(start).Seconds()}
+					continue
+				}
+				res.WallSec = time.Since(start).Seconds()
+				res.Resumed = resumed
+				if err := writeCellResult(resultPath, res); err != nil {
+					setState(c.Name, "failed", -1)
+					results <- outcome{cell: c, status: "failed", err: err, elapsed: res.WallSec}
+					continue
+				}
+				// The cell is committed: its checkpoint is no longer needed.
+				os.Remove(filepath.Join(dir, c.Name+".ckpt"))
+				setState(c.Name, "done", int64(horizon))
+				results <- outcome{cell: c, status: "done", resumed: resumed, elapsed: res.WallSec}
+			}
+		}()
+	}
+	go func() {
+		for _, c := range cells {
+			jobs <- c
+		}
+		close(jobs)
+	}()
+
+	failed, skipped := 0, 0
+	for done := 1; done <= len(cells); done++ {
+		o := <-results
+		if opts.live != nil {
+			opts.live.AddRun()
+		}
+		note := o.status
+		if o.resumed {
+			note += " (resumed from checkpoint)"
+		}
+		if o.err != nil {
+			note = "FAILED: " + o.err.Error()
+			failed++
+		}
+		if o.status == "skipped" {
+			skipped++
+			fmt.Printf("%-48s skipped (already done)\n", o.cell.Name)
+			continue
+		}
+		fmt.Printf("%-48s %8.2fs  %s\n", o.cell.Name, o.elapsed, note)
+	}
+	publishFleet()
+	fmt.Printf("campaign %s: %d done, %d skipped, %d failed\n",
+		key, len(cells)-failed-skipped, skipped, failed)
+	return failed
+}
+
+// runCampaignCell executes one grid point, checkpointing every
+// opts.ckptEvery of simulated time and resuming from a leftover
+// checkpoint when one is present and verifies.
+func runCampaignCell(c campaignCell, m *campaignManifest, duration prdrb.Time,
+	dir string, opts campaignOpts, progress func(int64)) (res cellResult, resumed bool, err error) {
+	defer func() {
+		// Topology/pattern/policy construction reports bad specs by panic;
+		// a campaign cell turns that into a failed cell, not a dead harness.
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	topo, err := prdrb.TopologyByName(c.Topology)
+	if err != nil {
+		return res, false, err
+	}
+	s, err := prdrb.NewSim(prdrb.Experiment{
+		Topology: topo, Policy: prdrb.Policy(c.Policy), Seed: c.Seed, Shards: m.Shards,
+	})
+	if err != nil {
+		return res, false, err
+	}
+	if m.Faults != "" {
+		plan, err := s.ParseFaults(m.Faults)
+		if err != nil {
+			return res, false, err
+		}
+		if _, err := s.InstallFaults(plan); err != nil {
+			return res, false, err
+		}
+	}
+	if err := s.InstallPattern(prdrb.PatternSpec{
+		Pattern: c.Pattern, RateMbps: c.RateMbps, Start: 0, End: duration,
+	}); err != nil {
+		return res, false, err
+	}
+
+	horizon := duration + prdrb.Second
+	ckptPath := filepath.Join(dir, c.Name+".ckpt")
+	start := prdrb.Time(0)
+	if _, statErr := os.Stat(ckptPath); statErr == nil {
+		mta, rerr := s.Resume(ckptPath)
+		if rerr != nil {
+			// A checkpoint from an older manifest or binary: start over.
+			fmt.Fprintf(os.Stderr, "campaign: %s: ignoring stale checkpoint: %v\n", c.Name, rerr)
+			os.Remove(ckptPath)
+		} else {
+			start, resumed = mta.At, true
+			progress(int64(start))
+		}
+	}
+
+	every := prdrb.Time(opts.ckptEvery.Nanoseconds())
+	var r prdrb.Results
+	if every > 0 {
+		for t := start; t < horizon; {
+			t = s.AlignCheckpoint(t + every)
+			if t > horizon {
+				t = horizon
+			}
+			s.Execute(t)
+			if _, err := s.WriteCheckpoint(ckptPath); err != nil {
+				return res, resumed, err
+			}
+			progress(int64(t))
+		}
+	}
+	r = s.Execute(horizon)
+
+	res = cellResult{
+		campaignCell:    c,
+		GlobalLatencyUs: r.GlobalLatencyUs,
+		P99Us:           r.P99Us,
+		AcceptedRatio:   r.AcceptedRatio,
+		DeliveredPkts:   r.DeliveredPkts,
+		DroppedPkts:     r.DroppedPkts,
+		Recoveries:      r.Recoveries,
+		Events:          s.Processed(),
+	}
+	return res, resumed, nil
+}
+
+// writeCellResult commits the per-cell JSON through the atomic artifact
+// path: a SIGINT mid-write leaves no half-written result, so a restarted
+// campaign only ever skips genuinely complete cells.
+func writeCellResult(path string, res cellResult) error {
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	a, err := createArtifact(path)
+	if err != nil {
+		return err
+	}
+	if _, err := a.Write(append(buf, '\n')); err != nil {
+		a.Abort()
+		return err
+	}
+	return a.Commit()
+}

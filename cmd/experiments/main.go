@@ -87,6 +87,10 @@ func main() {
 	statusInterval := flag.Duration("status-interval", 100*time.Microsecond, "virtual-time sampling interval for the status plane")
 	perfOut := flag.String("perf", "", "write an engine perf report JSON to this file (forces serial execution; render with 'prdrbtrace perf')")
 	perfTrace := flag.String("perf-trace", "", "write a wall-clock Perfetto trace of the engine to this file (forces serial execution)")
+	campaignPath := flag.String("campaign", "", "run a campaign: a manifest JSON describing a parameter grid (see EXPERIMENTS.md); completed cells are skipped on re-run")
+	campaignDir := flag.String("campaign-dir", "campaigns", "root directory for campaign results (one subdirectory per manifest hash)")
+	campaignWorkers := flag.Int("campaign-workers", 4, "concurrent cell simulations in campaign mode")
+	campaignCkptEvery := flag.Duration("campaign-checkpoint-every", time.Millisecond, "simulated-time interval between per-cell checkpoints (0 = no mid-cell checkpoints)")
 	flag.Parse()
 	wallStart := time.Now()
 	installInterruptCleanup()
@@ -157,8 +161,9 @@ func main() {
 	// into, read by the status server and the stderr progress line.
 	live := &telemetry.LiveStats{}
 	runner.DefaultLive = live
+	var board *telemetry.Board
 	if *statusAddr != "" {
-		board := telemetry.NewBoard()
+		board = telemetry.NewBoard()
 		runner.DefaultStatus = board
 		runner.DefaultStatusEvery = sim.Time((*statusInterval).Nanoseconds())
 		addr, err := telemetry.ServeStatus(*statusAddr, board, live)
@@ -167,6 +172,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "experiments: status on http://%s/status\n", addr)
+	}
+	if *campaignPath != "" {
+		// Campaign mode replaces the experiment registry entirely: the
+		// manifest grid is the work list, and the campaign directory is the
+		// completion record.
+		failed := runCampaign(campaignOpts{
+			manifestPath: *campaignPath, dir: *campaignDir,
+			workers: *campaignWorkers, ckptEvery: *campaignCkptEvery,
+			shards: *shards, board: board, live: live,
+		})
+		if failed > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 	workers := *procs
 	if workers < 1 || *outDir == "-" {

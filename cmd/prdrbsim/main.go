@@ -53,6 +53,11 @@ func main() {
 
 		faultSpec = flag.String("faults", "", "fault plan, e.g. 'link@500us:3.1+2ms, rand2@1ms+500us~2ms' (link@T:R.P[+repair], router@T:R[+repair], degrade@T:R.P*F[+dur], flap@T:R.P*N/period, randN@T[+spread][~mttr])")
 
+		ckptPath   = flag.String("checkpoint", "", "write checkpoints of the running simulation to this file (atomic; rewritten at each interval)")
+		ckptEvery  = flag.Duration("checkpoint-every", 0, "simulated-time interval between checkpoints (0 = one checkpoint at mid-run)")
+		ckptExit   = flag.Bool("checkpoint-exit", false, "exit after writing the first checkpoint (for resume testing)")
+		resumePath = flag.String("resume", "", "resume from a checkpoint file; the invocation must repeat the writing run's configuration exactly")
+
 		traceIn   = flag.String("replay", "", "replay a serialized workload trace file instead of -workload/-pattern")
 		traceOut  = flag.String("save-trace", "", "write the generated workload trace to this file and exit")
 		goalIn    = flag.String("goal", "", "replay a GOAL dependency-graph schedule file (runs on the serial engine regardless of -shards)")
@@ -258,6 +263,18 @@ func main() {
 	if haveWork != 1 {
 		fatal(fmt.Errorf("choose exactly one of -pattern, -workload, -replay, -goal or -heavytail"))
 	}
+	if *ckptPath != "" || *resumePath != "" {
+		// A checkpoint identifies one run; resume rebuilds the identical
+		// simulation. Closed-loop replay (-workload/-replay/-goal) and
+		// preloaded knowledge hold host-side state the checkpoint does not
+		// capture, so only the open-loop synthetic workloads qualify.
+		if strings.Contains(*policies, ",") || *seeds != 1 {
+			fatal(fmt.Errorf("-checkpoint/-resume need a single policy and a single seed"))
+		}
+		if *workload != "" || loadedTrace != nil || loadedGoal != nil || *knowIn != "" {
+			fatal(fmt.Errorf("-checkpoint/-resume support synthetic workloads only (-pattern or -heavytail)"))
+		}
+	}
 
 	var knowledge *prdrb.Knowledge
 	if *knowIn != "" {
@@ -292,6 +309,8 @@ func main() {
 				htOn:      prdrb.Time((*htOn).Nanoseconds()),
 				htOff:     prdrb.Time((*htOff).Nanoseconds()),
 				htMaxFlow: *htMaxFlow,
+				ckptPath:  *ckptPath, ckptEvery: prdrb.Time((*ckptEvery).Nanoseconds()),
+				ckptExit: *ckptExit, resumePath: *resumePath,
 			})
 			if err != nil {
 				fatal(err)
@@ -443,6 +462,48 @@ type runSpec struct {
 	htGroup            int
 	htOn, htOff        prdrb.Time
 	htMaxFlow          int
+	ckptPath           string
+	ckptEvery          prdrb.Time
+	ckptExit           bool
+	resumePath         string
+}
+
+// runToHorizon executes the simulation to horizon, first resuming from a
+// checkpoint and/or writing periodic checkpoints when requested. With
+// -checkpoint and no interval, one checkpoint lands at mid-run.
+func runToHorizon(s *prdrb.Sim, horizon prdrb.Time, spec runSpec) (prdrb.Results, error) {
+	start := prdrb.Time(0)
+	if spec.resumePath != "" {
+		m, err := s.Resume(spec.resumePath)
+		if err != nil {
+			return prdrb.Results{}, err
+		}
+		start = m.At
+		fmt.Fprintf(os.Stderr, "prdrbsim: resumed %s at t=%dns (replay verified)\n", spec.resumePath, start)
+	}
+	if spec.ckptPath != "" {
+		every := spec.ckptEvery
+		if every <= 0 {
+			every = horizon / 2
+		}
+		for t := start; t < horizon; {
+			t = s.AlignCheckpoint(t + every)
+			if t > horizon {
+				t = horizon
+			}
+			s.Execute(t)
+			n, err := s.WriteCheckpoint(spec.ckptPath)
+			if err != nil {
+				return prdrb.Results{}, err
+			}
+			fmt.Fprintf(os.Stderr, "prdrbsim: checkpoint t=%dns -> %s (%d bytes)\n", t, spec.ckptPath, n)
+			if spec.ckptExit {
+				fmt.Fprintln(os.Stderr, "prdrbsim: exiting after checkpoint (-checkpoint-exit)")
+				os.Exit(0)
+			}
+		}
+	}
+	return s.Execute(horizon), nil
 }
 
 func runOnce(topo prdrb.Topology, policy prdrb.Policy, seed uint64, spec runSpec) (*prdrb.Sim, prdrb.Results, prdrb.Time, error) {
@@ -513,7 +574,8 @@ func runOnce(topo prdrb.Topology, policy prdrb.Policy, seed uint64, spec runSpec
 		}); err != nil {
 			return nil, prdrb.Results{}, 0, err
 		}
-		return s, s.Execute(spec.duration + prdrb.Second), 0, nil
+		res, err := runToHorizon(s, spec.duration+prdrb.Second, spec)
+		return s, res, 0, err
 	}
 	if spec.bursts > 0 {
 		end, err := s.InstallBursts(prdrb.BurstSpec{
@@ -524,7 +586,8 @@ func runOnce(topo prdrb.Topology, policy prdrb.Policy, seed uint64, spec runSpec
 		if err != nil {
 			return nil, prdrb.Results{}, 0, err
 		}
-		return s, s.Execute(end + prdrb.Second), 0, nil
+		res, err := runToHorizon(s, end+prdrb.Second, spec)
+		return s, res, 0, err
 	}
 	if err := s.InstallPattern(prdrb.PatternSpec{
 		Pattern: spec.pattern, RateMbps: spec.rate,
@@ -532,7 +595,8 @@ func runOnce(topo prdrb.Topology, policy prdrb.Policy, seed uint64, spec runSpec
 	}); err != nil {
 		return nil, prdrb.Results{}, 0, err
 	}
-	return s, s.Execute(spec.duration + prdrb.Second), 0, nil
+	res, err := runToHorizon(s, spec.duration+prdrb.Second, spec)
+	return s, res, 0, err
 }
 
 // parseTopology resolves the spec through the topology registry,

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"sort"
+
+	"prdrb/internal/ckpt"
+	"prdrb/internal/network"
+	"prdrb/internal/topology"
+)
+
+// Checkpoint capture for the PR-DRB control plane. Controllers encode in
+// node order; inside a controller the metapaths encode sorted by
+// destination, the evidence maps sorted by flow key, and the solution
+// database sorted by destination — every map walk pinned so identical
+// controller state always produces identical bytes.
+
+func encPath(e *ckpt.Enc, p topology.Path) {
+	e.Int(len(p))
+	for _, r := range p {
+		e.I64(int64(r))
+	}
+}
+
+func encPathState(e *ckpt.Enc, ps *pathState) {
+	e.Int(ps.id)
+	encPath(e, ps.path)
+	e.F64(ps.latNs)
+	e.Int(ps.extraHops)
+	e.I64(ps.acks)
+}
+
+func encSignature(e *ckpt.Enc, sig Signature) {
+	e.Int(len(sig))
+	for _, f := range sig {
+		e.I64(int64(f.Src))
+		e.I64(int64(f.Dst))
+	}
+}
+
+func (mp *metapath) encodeState(e *ckpt.Enc) {
+	e.I64(int64(mp.dst))
+	e.U8(uint8(mp.zone))
+	e.Int(mp.nextPathID)
+	e.Int(len(mp.paths))
+	for i := range mp.paths {
+		encPathState(e, &mp.paths[i])
+	}
+	e.Bool(mp.poolInit)
+	e.Int(len(mp.pool))
+	for _, p := range mp.pool {
+		encPath(e, p)
+	}
+	e.I64(int64(mp.lastOpen))
+	e.I64(int64(mp.lastInject))
+	e.Int(mp.outstanding)
+	e.I64(int64(mp.failedAt))
+	if mp.watchdog != nil {
+		if at, armed := mp.watchdog.Deadline(); armed {
+			e.Bool(true)
+			e.I64(int64(at))
+		} else {
+			e.Bool(false)
+		}
+	} else {
+		e.Bool(false)
+	}
+	flows := make([]network.FlowKey, 0, len(mp.flowSeen))
+	for f := range mp.flowSeen {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].Src != flows[j].Src {
+			return flows[i].Src < flows[j].Src
+		}
+		return flows[i].Dst < flows[j].Dst
+	})
+	e.Int(len(flows))
+	for _, f := range flows {
+		e.I64(int64(f.Src))
+		e.I64(int64(f.Dst))
+		e.I64(int64(mp.flowSeen[f]))
+	}
+	// Trend ring, oldest-first up to capacity.
+	e.Int(len(mp.trend.samples))
+	e.Int(mp.trend.next)
+	e.Bool(mp.trend.full)
+	for _, s := range mp.trend.samples {
+		e.I64(int64(s.at))
+		e.F64(s.lat)
+	}
+}
+
+func (db *SolutionDB) encodeState(e *ckpt.Enc) {
+	// Non-predictive controllers (plain DRB) carry no database.
+	if db == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	e.Int(db.MaxPerDst)
+	dsts := make([]int, 0, len(db.perDst))
+	for d := range db.perDst {
+		dsts = append(dsts, d)
+	}
+	sort.Ints(dsts)
+	e.Int(len(dsts))
+	for _, d := range dsts {
+		sols := db.perDst[d]
+		e.Int(d)
+		e.Int(len(sols))
+		for _, s := range sols {
+			encSignature(e, s.Sig)
+			e.Int(len(s.paths))
+			for i := range s.paths {
+				encPathState(e, &s.paths[i])
+			}
+			e.I64(s.Hits)
+			e.I64(s.Updates)
+			e.I64(int64(s.SavedAt))
+		}
+	}
+}
+
+// EncodeState appends one controller's full state: RNG stream, decision
+// statistics, every metapath and the solution database.
+func (c *Controller) EncodeState(e *ckpt.Enc) {
+	e.I64(int64(c.Node))
+	st := c.rng.State()
+	for _, w := range st {
+		e.U64(w)
+	}
+	s := &c.Stats
+	e.I64(s.PathsOpened)
+	e.I64(s.PathsClosed)
+	e.I64(s.PatternsSaved)
+	e.I64(s.PatternsReused)
+	e.I64(s.ReuseApplications)
+	e.I64(s.WatchdogFirings)
+	e.I64(s.AcksSeen)
+	e.I64(s.PredictiveAcks)
+	e.I64(s.TrendFirings)
+	e.I64(s.PathFailures)
+	e.I64(s.SolutionsInvalidated)
+	e.I64(s.Recoveries)
+	dsts := make([]topology.NodeID, 0, len(c.mps))
+	for d := range c.mps {
+		dsts = append(dsts, d)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	e.Int(len(dsts))
+	for _, d := range dsts {
+		c.mps[d].encodeState(e)
+	}
+	c.db.encodeState(e)
+}
+
+// EncodeControllers appends every controller in node order.
+func EncodeControllers(e *ckpt.Enc, ctls []*Controller) {
+	sorted := make([]*Controller, len(ctls))
+	copy(sorted, ctls)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Node < sorted[j].Node })
+	e.Int(len(sorted))
+	for _, c := range sorted {
+		c.EncodeState(e)
+	}
+}

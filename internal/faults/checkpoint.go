@@ -1,0 +1,24 @@
+package faults
+
+import (
+	"sort"
+
+	"prdrb/internal/ckpt"
+)
+
+// EncodeState appends the injector's progress: the plan size and the
+// per-kind applied counts (sorted by kind), which together pin exactly
+// which scheduled fault transitions have fired.
+func (inj *Injector) EncodeState(e *ckpt.Enc) {
+	e.Int(len(inj.plan.Events))
+	kinds := make([]int, 0, len(inj.Applied))
+	for k := range inj.Applied {
+		kinds = append(kinds, int(k))
+	}
+	sort.Ints(kinds)
+	e.Int(len(kinds))
+	for _, k := range kinds {
+		e.U8(uint8(k))
+		e.Int(inj.Applied[Kind(k)])
+	}
+}

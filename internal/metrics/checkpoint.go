@@ -1,0 +1,75 @@
+package metrics
+
+import "prdrb/internal/ckpt"
+
+// Checkpoint capture for collectors. Every accumulator serializes in
+// fixed structural order; floats travel as IEEE 754 bit patterns, so two
+// runs that performed the identical observation sequence encode to the
+// identical bytes — the property the replay-verify restore compares.
+
+func encRunningAvg(e *ckpt.Enc, r *RunningAvg) {
+	e.I64(r.n)
+	e.F64(r.avg)
+}
+
+func encSeries(e *ckpt.Enc, s *Series) {
+	if s == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	e.I64(int64(s.Window))
+	e.Int(len(s.samples))
+	for _, sm := range s.samples {
+		e.I64(int64(sm.At))
+		e.F64(sm.Avg)
+		e.F64(sm.Max)
+		e.I64(sm.N)
+	}
+	e.I64(int64(s.curEnd))
+	e.F64(s.curSum)
+	e.F64(s.curMax)
+	e.I64(s.curN)
+}
+
+func encHistogram(e *ckpt.Enc, h *Histogram) {
+	if h == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	e.Int(len(h.counts))
+	for _, c := range h.counts {
+		e.I64(c)
+	}
+	e.I64(h.total)
+	e.F64(h.sum)
+	e.I64(int64(h.min))
+	e.I64(int64(h.max))
+}
+
+// EncodeState appends the collector's full accumulator state.
+func (c *Collector) EncodeState(e *ckpt.Enc) {
+	e.Int(len(c.Latency.perDst))
+	for i := range c.Latency.perDst {
+		encRunningAvg(e, &c.Latency.perDst[i])
+	}
+	e.Int(len(c.Contention.routers))
+	for i := range c.Contention.routers {
+		st := &c.Contention.routers[i]
+		encRunningAvg(e, &st.Wait)
+		e.F64(st.MaxNs)
+		encSeries(e, st.Series)
+	}
+	t := &c.Throughput
+	e.I64(t.OfferedBytes)
+	e.I64(t.AcceptedBytes)
+	e.I64(t.OfferedPkts)
+	e.I64(t.AcceptedPkts)
+	e.I64(t.DroppedPkts)
+	e.I64(t.DroppedBytes)
+	e.I64(t.UnreachableMsgs)
+	encSeries(e, c.GlobalSeries)
+	encHistogram(e, c.Hist)
+	encHistogram(e, c.Recovery)
+}

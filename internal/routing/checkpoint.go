@@ -1,0 +1,32 @@
+package routing
+
+import (
+	"fmt"
+
+	"prdrb/internal/ckpt"
+)
+
+// EncodePolicyState appends a routing policy's mutable state. Stateless
+// policies (deterministic, adaptive) contribute only their type tag;
+// stateful ones add their RNG streams or arbitration cursors.
+func EncodePolicyState(e *ckpt.Enc, p any) {
+	e.Str(fmt.Sprintf("%T", p))
+	switch pol := p.(type) {
+	case *Random:
+		for _, w := range pol.rng.State() {
+			e.U64(w)
+		}
+	case *Cyclic:
+		e.Int(len(pol.next))
+		for _, n := range pol.next {
+			e.Int(n)
+		}
+	case *RandomPerRouter:
+		e.Int(len(pol.rngs))
+		for _, r := range pol.rngs {
+			for _, w := range r.State() {
+				e.U64(w)
+			}
+		}
+	}
+}

@@ -134,6 +134,25 @@ type Sim struct {
 	// perf is the attached wall-clock engine profiler (nil when off; all
 	// call sites are nil-safe so disabled profiling costs nothing).
 	perf *perf.Profiler
+
+	// Checkpoint support (checkpoint.go): configLog records every
+	// workload/fault installation in call order, making the run's full
+	// configuration digestible; injectors and sources retain the handles
+	// whose mutable state the checkpoint captures.
+	configLog []string
+	injectors []*faults.Injector
+	sources   []*traffic.Sources
+	// executedTo is the highest Execute horizon reached so far. A serial
+	// engine parks at its last processed event, so this — not Now() — is
+	// the time a checkpoint captures and a resume replays to.
+	executedTo sim.Time
+}
+
+// logConfig appends one canonical line to the configuration log. Installer
+// arguments are rendered with %+v so two runs configured identically
+// produce identical logs (and therefore identical config digests).
+func (s *Sim) logConfig(format string, args ...any) {
+	s.configLog = append(s.configLog, fmt.Sprintf(format, args...))
 }
 
 // builder carries the intermediate state of simulation assembly. Each step
@@ -374,7 +393,13 @@ func MustNew(exp Experiment) *Sim {
 // InstallFaults validates the fault plan against the topology and schedules
 // its events on the simulation's engine.
 func (s *Sim) InstallFaults(plan faults.Plan) (*faults.Injector, error) {
-	return faults.Install(s.Net, plan)
+	inj, err := faults.Install(s.Net, plan)
+	if err != nil {
+		return nil, err
+	}
+	s.injectors = append(s.injectors, inj)
+	s.logConfig("faults %v", plan.Events)
+	return inj, nil
 }
 
 // ParseFaults builds a fault plan from the --faults flag grammar against
@@ -419,7 +444,7 @@ func (s *Sim) InstallPattern(spec PatternSpec) error {
 	if pkt == 0 {
 		pkt = s.Net.Cfg.PacketBytes
 	}
-	traffic.Install(s.Net, traffic.Spec{
+	src := traffic.Install(s.Net, traffic.Spec{
 		Pattern:     p,
 		RateBps:     spec.RateMbps * 1e6,
 		PacketBytes: pkt,
@@ -427,6 +452,8 @@ func (s *Sim) InstallPattern(spec PatternSpec) error {
 		End:         spec.End,
 		Nodes:       spec.Nodes,
 	}, s.rng.Split(0x7a))
+	s.sources = append(s.sources, src)
+	s.logConfig("pattern %+v", spec)
 	return nil
 }
 
@@ -438,7 +465,7 @@ func (s *Sim) InstallHotSpot(flows map[topology.NodeID]topology.NodeID, rateMbps
 		nodes = append(nodes, src)
 	}
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-	traffic.Install(s.Net, traffic.Spec{
+	src := traffic.Install(s.Net, traffic.Spec{
 		Pattern:     traffic.NewHotSpot(flows),
 		RateBps:     rateMbps * 1e6,
 		PacketBytes: s.Net.Cfg.PacketBytes,
@@ -446,6 +473,8 @@ func (s *Sim) InstallHotSpot(flows map[topology.NodeID]topology.NodeID, rateMbps
 		End:         end,
 		Nodes:       nodes,
 	}, s.rng.Split(0x45))
+	s.sources = append(s.sources, src)
+	s.logConfig("hotspot flows=%d rate=%v start=%d end=%d", len(flows), rateMbps, start, end)
 }
 
 // BurstSpec describes repeated communication bursts (Fig 2.6).
@@ -493,8 +522,10 @@ func (s *Sim) InstallBursts(spec BurstSpec) (sim.Time, error) {
 	if err != nil {
 		return 0, err
 	}
-	end := traffic.InstallBursts(s.Net, []traffic.Burst{b}, spec.Start, spec.Count,
+	end, src := traffic.InstallBursts(s.Net, []traffic.Burst{b}, spec.Start, spec.Count,
 		s.Net.Cfg.PacketBytes, s.rng.Split(0x6b))
+	s.sources = append(s.sources, src)
+	s.logConfig("bursts %+v", spec)
 	return end, nil
 }
 
@@ -514,8 +545,10 @@ func (s *Sim) InstallVariableBursts(specs []BurstSpec, count int) (sim.Time, err
 		}
 		bursts[i] = b
 	}
-	end := traffic.InstallBursts(s.Net, bursts, specs[0].Start, count,
+	end, src := traffic.InstallBursts(s.Net, bursts, specs[0].Start, count,
 		s.Net.Cfg.PacketBytes, s.rng.Split(0x5e))
+	s.sources = append(s.sources, src)
+	s.logConfig("varbursts %+v count=%d", specs, count)
 	return end, nil
 }
 
@@ -590,7 +623,7 @@ func (s *Sim) InstallHeavyTail(spec HeavyTailSpec) error {
 	if spec.LoadMbps <= 0 {
 		return fmt.Errorf("prdrb: heavy-tail spec needs a positive load")
 	}
-	traffic.InstallHeavyTail(s.Net, traffic.HeavyTail{
+	src := traffic.InstallHeavyTail(s.Net, traffic.HeavyTail{
 		Pattern:  p,
 		Sizes:    cdf,
 		FlowRate: spec.LoadMbps * 1e6 / (8 * cdf.Mean()),
@@ -599,6 +632,8 @@ func (s *Sim) InstallHeavyTail(spec HeavyTailSpec) error {
 		Start:    spec.Start,
 		End:      spec.End,
 	}, s.rng.Split(0x9d))
+	s.sources = append(s.sources, src)
+	s.logConfig("heavytail %+v", spec)
 	return nil
 }
 
@@ -614,6 +649,10 @@ func (s *Sim) PlayTrace(tr *trace.Trace, mapping []topology.NodeID) (*trace.Repl
 		return nil, err
 	}
 	rep.Start(0)
+	// The digest covers the mapping and event count, not the full trace
+	// content — resuming against a different trace file of identical
+	// shape is the caller's responsibility to avoid.
+	s.logConfig("trace events=%d mapping=%v", tr.TotalEvents(), mapping)
 	return rep, nil
 }
 
@@ -630,6 +669,7 @@ func (s *Sim) PlayGoal(g *trace.Goal, mapping []topology.NodeID) (*trace.GoalRep
 		return nil, err
 	}
 	rep.Start(0)
+	s.logConfig("goal mapping=%v", mapping)
 	return rep, nil
 }
 
@@ -680,6 +720,9 @@ func (s *Sim) Execute(horizon sim.Time) Results {
 	s.perf.RunStart()
 	s.Net.Drain(horizon)
 	s.perf.RunEnd()
+	if horizon > s.executedTo {
+		s.executedTo = horizon
+	}
 	s.syncLive(int64(s.Processed()), int64(s.Now()))
 	return s.Summarize()
 }

@@ -301,12 +301,18 @@ func (g *ShardGroup) Run(horizon Time) uint64 {
 		// Fast-forward across globally idle spans: the window may start at
 		// any time ≥ the previous barrier without weakening the lookahead
 		// guarantee (a message sent in [start, winEnd) still arrives
-		// ≥ start + lookahead ≥ winEnd).
+		// ≥ start + lookahead ≥ start + Window ≥ winEnd, since windows
+		// never exceed one lookahead).
 		start := next
 		if start < g.now {
 			start = g.now
 		}
-		winEnd := start + g.Window
+		// Windows end on the absolute Window grid, not at start + Window:
+		// barrier times are then a property of the timeline alone, so
+		// running to horizon T and continuing is byte-identical to one
+		// uninterrupted run whenever T is a grid multiple — the property
+		// checkpoint/resume relies on (see internal/runner).
+		winEnd := start - start%g.Window + g.Window
 		if winEnd > horizon {
 			winEnd = horizon
 		}

@@ -14,6 +14,7 @@ import (
 //
 //	/metrics  Prometheus text exposition of the last registry snapshot
 //	/status   JSON Status snapshot (latest published)
+//	/fleet    JSON FleetStatus snapshot (campaign runs only)
 //	/events   SSE stream of Status snapshots as they are published
 //	/debug/   net/http/pprof (DefaultServeMux, registered by profile.go)
 //
@@ -66,6 +67,7 @@ func (s *StatusServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/fleet", s.handleFleet)
 	mux.HandleFunc("/events", s.handleEvents)
 	// pprof registers on the DefaultServeMux at package init.
 	mux.Handle("/debug/", http.DefaultServeMux)
@@ -103,6 +105,22 @@ func (s *StatusServer) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(st)
+}
+
+// handleFleet serves the campaign fleet view: how many cell simulations
+// are running/done/failed and where each one stands, with the aggregate
+// wall-clock event rate filled in at serve time.
+func (s *StatusServer) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	f, ok := s.Board.Fleet()
+	if !ok {
+		http.Error(w, "no fleet view published yet (not a campaign run?)", http.StatusServiceUnavailable)
+		return
+	}
+	f.EventsPerSec = s.eventsPerSec()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(f)
 }
 
 // handleEvents streams snapshots as server-sent events: each newly

@@ -116,6 +116,39 @@ type Status struct {
 	Perf *PerfStatus `json:"perf,omitempty"`
 }
 
+// FleetCellStatus is one campaign cell's live position in the grid.
+type FleetCellStatus struct {
+	// Cell is the grid cell's name (topology/policy/pattern/rate/seed).
+	Cell string `json:"cell"`
+	// State is "running", "done", "failed" or "skipped" (already complete
+	// when the campaign started).
+	State string `json:"state"`
+	// VirtualNs is the cell simulation's clock at the last checkpoint or
+	// progress tick; HorizonNs is where the run ends.
+	VirtualNs int64 `json:"virtual_ns"`
+	HorizonNs int64 `json:"horizon_ns"`
+}
+
+// FleetStatus is a campaign's aggregate view: how many simulations are
+// running, done or failed, plus per-cell positions. Published by the
+// campaign scheduler, served at /fleet.
+type FleetStatus struct {
+	// Seq increments with every publish (stamped by the Board).
+	Seq uint64 `json:"seq"`
+	// Campaign is the campaign key (manifest content hash).
+	Campaign string `json:"campaign"`
+	Total    int    `json:"total"`
+	Running  int    `json:"running"`
+	Done     int    `json:"done"`
+	Failed   int    `json:"failed"`
+	Skipped  int    `json:"skipped"`
+	// EventsProcessed aggregates executed events across all cell runs;
+	// EventsPerSec is filled in by the server at serve time.
+	EventsProcessed int64             `json:"events_processed"`
+	EventsPerSec    float64           `json:"events_per_sec"`
+	Cells           []FleetCellStatus `json:"cells,omitempty"`
+}
+
 // Board is the handoff point between sampler actors and the HTTP server:
 // samplers publish under the lock, handlers copy out under the lock.
 // A nil *Board is inert — every method no-ops — so wiring stays nil-safe
@@ -127,6 +160,10 @@ type Board struct {
 	have    bool
 	scalars map[string]int64
 	hists   map[string]HistSnapshot
+
+	fleetSeq  uint64
+	fleet     FleetStatus
+	haveFleet bool
 }
 
 // NewBoard returns an empty board.
@@ -156,6 +193,33 @@ func (b *Board) PublishMetrics(scalars map[string]int64, hists map[string]HistSn
 	b.scalars = scalars
 	b.hists = hists
 	b.mu.Unlock()
+}
+
+// PublishFleet stores f as the latest campaign fleet view, stamping its
+// Seq.
+func (b *Board) PublishFleet(f FleetStatus) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.fleetSeq++
+	f.Seq = b.fleetSeq
+	b.fleet = f
+	b.haveFleet = true
+	b.mu.Unlock()
+}
+
+// Fleet returns the most recent fleet view and whether one was ever
+// published.
+func (b *Board) Fleet() (FleetStatus, bool) {
+	if b == nil {
+		return FleetStatus{}, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f := b.fleet
+	f.Cells = append([]FleetCellStatus(nil), f.Cells...)
+	return f, b.haveFleet
 }
 
 // Latest returns the most recent status and whether one was ever

@@ -217,7 +217,7 @@ type HeavyTail struct {
 // per-node streams derived from the node id alone and events scheduled on
 // each node's own shard engine, so the realized workload is byte-identical
 // across shard counts and GOMAXPROCS settings.
-func InstallHeavyTail(net *network.Network, spec HeavyTail, rng *sim.RNG) {
+func InstallHeavyTail(net *network.Network, spec HeavyTail, rng *sim.RNG) *Sources {
 	if spec.FlowRate <= 0 {
 		panic("traffic: heavy-tail spec needs a positive flow rate")
 	}
@@ -242,9 +242,11 @@ func InstallHeavyTail(net *network.Network, spec HeavyTail, rng *sim.RNG) {
 	}
 	ivf := 1e9 / spec.FlowRate // mean ns between flow starts while ON
 	base := rng.Uint64()
+	src := &Sources{Label: "heavytail:" + spec.Pattern.Name()}
 	for _, node := range nodes {
 		node := node
 		r := sim.NewRNG(base ^ (uint64(node)+1)*0x9e3779b97f4a7c15)
+		src.add(node, r)
 		var onEnd sim.Time
 		var flow func(e *sim.Engine)
 		var cycle func(e *sim.Engine)
@@ -287,4 +289,5 @@ func InstallHeavyTail(net *network.Network, spec HeavyTail, rng *sim.RNG) {
 		first := spec.Start + sim.Time(r.Float64()*ivf)
 		net.EngineForNode(node).Schedule(first, cycle)
 	}
+	return src
 }

@@ -178,8 +178,9 @@ func (s *Spec) interval() sim.Time {
 
 // Install schedules the spec's injection events on the network. Each node
 // gets an independent RNG stream derived from rng, plus a phase offset so
-// sources do not inject in lockstep.
-func Install(net *network.Network, spec Spec, rng *sim.RNG) {
+// sources do not inject in lockstep. The returned Sources handle exposes
+// the per-node streams for checkpoint capture.
+func Install(net *network.Network, spec Spec, rng *sim.RNG) *Sources {
 	if spec.RateBps <= 0 || spec.PacketBytes <= 0 {
 		panic("traffic: spec needs positive rate and packet size")
 	}
@@ -200,9 +201,11 @@ func Install(net *network.Network, spec Spec, rng *sim.RNG) {
 	// One base draw, then per-node streams derived from the node id only:
 	// the schedule must not depend on the iteration order of `nodes`.
 	base := rng.Uint64()
+	src := &Sources{Label: "pattern:" + spec.Pattern.Name()}
 	for _, node := range nodes {
 		node := node
 		r := sim.NewRNG(base ^ (uint64(node)+1)*0x9e3779b97f4a7c15)
+		src.add(node, r)
 		// Spread start phases across one interval.
 		first := spec.Start + sim.Time(r.Float64()*float64(iv))
 		var tick func(e *sim.Engine)
@@ -228,6 +231,7 @@ func Install(net *network.Network, spec Spec, rng *sim.RNG) {
 		// id, never on the shard layout).
 		net.EngineForNode(node).Schedule(first, tick)
 	}
+	return src
 }
 
 // Burst describes one communication phase of a bursty application cycle
@@ -246,11 +250,12 @@ type Burst struct {
 // returning the time the last burst ends. A fixed pattern across bursts is
 // plain bursty traffic; varying patterns give "bursty with variable
 // pattern" (Fig 2.6b).
-func InstallBursts(net *network.Network, bursts []Burst, start sim.Time, count int, packetBytes int, rng *sim.RNG) sim.Time {
+func InstallBursts(net *network.Network, bursts []Burst, start sim.Time, count int, packetBytes int, rng *sim.RNG) (sim.Time, *Sources) {
 	t := start
+	all := &Sources{Label: "bursts"}
 	for rep := 0; rep < count; rep++ {
 		b := bursts[rep%len(bursts)]
-		Install(net, Spec{
+		src := Install(net, Spec{
 			Pattern:     b.Pattern,
 			RateBps:     b.RateBps,
 			PacketBytes: packetBytes,
@@ -258,7 +263,8 @@ func InstallBursts(net *network.Network, bursts []Burst, start sim.Time, count i
 			End:         t + b.Len,
 			Nodes:       b.Nodes,
 		}, rng.Split(uint64(rep)+0xb0))
+		all.Merge(src)
 		t += b.Len + b.Gap
 	}
-	return t
+	return t, all
 }

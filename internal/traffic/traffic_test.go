@@ -211,7 +211,7 @@ func TestInstallRestrictedNodes(t *testing.T) {
 
 func TestInstallBursts(t *testing.T) {
 	net := buildNet(t)
-	end := InstallBursts(net, []Burst{{
+	end, _ := InstallBursts(net, []Burst{{
 		Pattern: PerfectShuffle{Nodes: 16},
 		RateBps: 400e6,
 		Len:     100 * sim.Microsecond,

@@ -14,6 +14,7 @@ for entry in \
     FuzzReadTrace:./internal/trace \
     FuzzReadGOAL:./internal/trace \
     FuzzDecodeHeader:./internal/network \
+    FuzzReadCheckpoint:./internal/ckpt \
 ; do
     target=${entry%%:*}
     pkg=${entry#*:}

@@ -170,4 +170,11 @@ grep -q '^perf trace: .* ok' "$teldir/perf-a.det" || {
 }
 echo "    -perf run byte-identical to profiler-off; det counters stable; trace ok"
 
+echo "==> checkpoint/resume smoke (three presets + campaign kill/restart)"
+# The same smoke the resume-equivalence CI job runs: serial, faulted and
+# sharded runs checkpointed at mid-run and resumed must print summaries
+# byte-identical to the uninterrupted runs, and a SIGINT-killed campaign
+# restart must skip every committed cell.
+scripts/resume_smoke.sh
+
 echo "==> verify OK"
