@@ -22,52 +22,63 @@ func init() {
 }
 
 type dcResult struct {
+	mean, p50, p99, peak prdrb.Summary
+	saved, reused        float64
+	err                  error
+}
+
+type dcSeedOut struct {
 	mean, p50, p99, peak float64
 	saved, reused        float64
 	err                  error
 }
 
-// dcMeasure runs one policy across the harness seeds and averages the
-// latency view (mean, percentiles, hottest-router contention).
+// dcMeasure runs one policy across the harness seeds and summarizes the
+// latency view (mean, percentiles, hottest-router contention) as
+// mean ± 95% CI per §4.3.
 func dcMeasure(ctx *runCtx, topo func() prdrb.Topology, policy prdrb.Policy, spec prdrb.HeavyTailSpec) dcResult {
-	outs := parMap(ctx.seeds, func(seed uint64) dcResult {
+	outs := parMap(ctx.seeds, func(seed uint64) dcSeedOut {
 		s := prdrb.MustNewSim(prdrb.Experiment{
 			Topology: topo(), Policy: policy, Seed: seed,
 			SeriesWindow: 50 * prdrb.Microsecond,
 		})
 		if err := s.InstallHeavyTail(spec); err != nil {
-			return dcResult{err: err}
+			return dcSeedOut{err: err}
 		}
 		res := s.Execute(spec.End + prdrb.Second)
 		if res.AcceptedRatio != 1 {
-			return dcResult{err: fmt.Errorf("%s lost traffic (accepted %.3f)", policy, res.AcceptedRatio)}
+			return dcSeedOut{err: fmt.Errorf("%s lost traffic (accepted %.3f)", policy, res.AcceptedRatio)}
 		}
-		return dcResult{
+		return dcSeedOut{
 			mean: res.GlobalLatencyUs, p50: res.P50Us, p99: res.P99Us, peak: res.PeakContentionUs,
 			saved: float64(res.SavedPatterns), reused: float64(res.Stats.ReuseApplications),
 		}
 	})
+	var mean, p50, p99, peak []float64
 	var agg dcResult
 	for _, o := range outs {
 		if o.err != nil {
-			return o
+			return dcResult{err: o.err}
 		}
-		agg.mean += o.mean
-		agg.p50 += o.p50
-		agg.p99 += o.p99
-		agg.peak += o.peak
+		mean = append(mean, o.mean)
+		p50 = append(p50, o.p50)
+		p99 = append(p99, o.p99)
+		peak = append(peak, o.peak)
 		agg.saved += o.saved
 		agg.reused += o.reused
 	}
 	n := float64(len(outs))
-	agg.mean /= n
-	agg.p50 /= n
-	agg.p99 /= n
-	agg.peak /= n
+	agg.mean = prdrb.Summarize(mean)
+	agg.p50 = prdrb.Summarize(p50)
+	agg.p99 = prdrb.Summarize(p99)
+	agg.peak = prdrb.Summarize(peak)
 	agg.saved /= n
 	agg.reused /= n
 	return agg
 }
+
+// pmUs renders a Summary as "mean±ci" in microseconds for the tables.
+func pmUs(s prdrb.Summary) string { return fmt.Sprintf("%.2f±%.2f", s.Mean, s.CI95) }
 
 // dcCompare renders the three-policy comparison table plus the gain
 // statement, and emits the plot CSV (one row per policy).
@@ -75,7 +86,7 @@ func dcCompare(ctx *runCtx, w io.Writer, name, fabric string, topo func() prdrb.
 	policies := []prdrb.Policy{prdrb.PolicyAdaptive, prdrb.PolicyDRB, prdrb.PolicyPRDRB}
 	fmt.Fprintf(w, "%s\n%s flow sizes, ON/OFF arrivals, grouplocal p=%.1f, %.0f Mbps/node over %.0f us\n\n",
 		fabric, spec.CDF, spec.PLocal, spec.LoadMbps, float64(spec.End)/float64(prdrb.Microsecond))
-	fmt.Fprintf(w, "%-14s %10s %10s %10s %12s %8s %8s\n", "policy", "mean us", "p50 us", "p99 us", "peak us", "saved", "reused")
+	fmt.Fprintf(w, "%-14s %14s %14s %14s %16s %8s %8s\n", "policy", "mean us", "p50 us", "p99 us", "peak us", "saved", "reused")
 	got := map[prdrb.Policy]dcResult{}
 	var rows [][]float64
 	for i, p := range policies {
@@ -84,17 +95,20 @@ func dcCompare(ctx *runCtx, w io.Writer, name, fabric string, topo func() prdrb.
 			return r.err
 		}
 		got[p] = r
-		fmt.Fprintf(w, "%-14s %10.2f %10.2f %10.2f %12.2f %8.0f %8.0f\n", p, r.mean, r.p50, r.p99, r.peak, r.saved, r.reused)
-		rows = append(rows, []float64{float64(i), r.mean, r.p50, r.p99, r.peak, r.saved, r.reused})
+		fmt.Fprintf(w, "%-14s %14s %14s %14s %16s %8.0f %8.0f\n", p,
+			pmUs(r.mean), pmUs(r.p50), pmUs(r.p99), pmUs(r.peak), r.saved, r.reused)
+		rows = append(rows, []float64{float64(i), r.mean.Mean, r.mean.CI95,
+			r.p50.Mean, r.p99.Mean, r.p99.CI95, r.peak.Mean, r.saved, r.reused})
 	}
-	if err := ctx.writeCSV("series-"+name, []string{"policy_idx", "mean_us", "p50_us", "p99_us", "peak_us", "saved", "reused"}, rows); err != nil {
+	if err := ctx.writeCSV("series-"+name, []string{"policy_idx", "mean_us", "mean_ci95", "p50_us", "p99_us", "p99_ci95", "peak_us", "saved", "reused"}, rows); err != nil {
 		return err
 	}
 	ad, drb, pr := got[prdrb.PolicyAdaptive], got[prdrb.PolicyDRB], got[prdrb.PolicyPRDRB]
+	fmt.Fprintf(w, "\nintervals are 95%% CI over %d seeds (Student-t, §4.3)\n", len(ctx.seeds))
 	fmt.Fprintf(w, "\nPR-DRB vs adaptive: %+.1f%% mean, %+.1f%% p99\n",
-		prdrb.GainPct(ad.mean, pr.mean), prdrb.GainPct(ad.p99, pr.p99))
+		prdrb.GainPct(ad.mean.Mean, pr.mean.Mean), prdrb.GainPct(ad.p99.Mean, pr.p99.Mean))
 	fmt.Fprintf(w, "PR-DRB vs DRB:      %+.1f%% mean, %+.1f%% p99\n",
-		prdrb.GainPct(drb.mean, pr.mean), prdrb.GainPct(drb.p99, pr.p99))
+		prdrb.GainPct(drb.mean.Mean, pr.mean.Mean), prdrb.GainPct(drb.p99.Mean, pr.p99.Mean))
 	fmt.Fprintf(w, "\nPositive = PR-DRB lower. Group-local skew concentrates load on the\n")
 	fmt.Fprintf(w, "intra-group links, so the win (or loss) shows whether metapath balancing\n")
 	fmt.Fprintf(w, "helps when hotspots churn at flow timescales instead of burst timescales.\n")

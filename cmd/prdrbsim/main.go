@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -84,6 +85,11 @@ func main() {
 
 		checkTrace    = flag.String("validate-trace", "", "validate a JSONL telemetry trace against its schema and exit")
 		checkManifest = flag.String("validate-manifest", "", "validate a run-manifest file against its schema and exit")
+
+		congestion = flag.Bool("congestion", false, "enable the fabric congestion observability plane (link/VC weather map, FCT percentiles, anomaly flight recorder)")
+		congWindow = flag.Duration("congestion-window", 10*time.Microsecond, "weather-map sampling window (virtual time)")
+		congOut    = flag.String("congestion-out", "", "write the congestion artifact JSON to this file (render with 'prdrbtrace congestion'; implies -congestion)")
+		flightOut  = flag.String("flight", "", "write anomaly flight-recorder dumps (JSONL) to this file (implies -congestion)")
 
 		heavytail = flag.String("heavytail", "", "heavy-tailed flow workload by flow-size CDF: websearch|datamining|cache (uses -rate as per-node load and -duration as the window)")
 		htPattern = flag.String("ht-pattern", "uniform", "heavy-tail destination pattern: uniform|grouplocal")
@@ -276,6 +282,10 @@ func main() {
 		}
 	}
 
+	if *congOut != "" || *flightOut != "" {
+		*congestion = true
+	}
+
 	var knowledge *prdrb.Knowledge
 	if *knowIn != "" {
 		f, err := os.Open(*knowIn)
@@ -311,6 +321,7 @@ func main() {
 				htMaxFlow: *htMaxFlow,
 				ckptPath:  *ckptPath, ckptEvery: prdrb.Time((*ckptEvery).Nanoseconds()),
 				ckptExit: *ckptExit, resumePath: *resumePath,
+				congestion: *congestion, congWindow: prdrb.Time((*congWindow).Nanoseconds()),
 			})
 			if err != nil {
 				fatal(err)
@@ -352,6 +363,16 @@ func main() {
 		}
 		if *energy && last != nil {
 			fmt.Println("   ", last.Energy(prdrb.DefaultEnergyModel()))
+		}
+		if *congOut != "" && last != nil {
+			if err := writeCongestionArtifact(last, *congOut); err != nil {
+				fatal(err)
+			}
+		}
+		if *flightOut != "" && last != nil {
+			if err := writeFlightDumps(last, *flightOut); err != nil {
+				fatal(err)
+			}
 		}
 		if *knowOut != "" && last != nil {
 			k := last.ExportKnowledge()
@@ -466,6 +487,48 @@ type runSpec struct {
 	ckptEvery          prdrb.Time
 	ckptExit           bool
 	resumePath         string
+	congestion         bool
+	congWindow         prdrb.Time
+}
+
+// writeCongestionArtifact serializes the run's congestion artifact as
+// indented JSON. Field order is fixed by the struct, so identical-seed
+// runs write byte-identical files.
+func writeCongestionArtifact(s *prdrb.Sim, path string) error {
+	a, err := s.CongestionArtifact()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "prdrbsim: wrote congestion artifact %s (%d windows, %d flight dumps)\n",
+		path, len(a.Windows), a.FlightDumps)
+	return nil
+}
+
+// writeFlightDumps serializes the anomaly flight-recorder dumps as JSONL
+// (an empty file when no trigger fired).
+func writeFlightDumps(s *prdrb.Sim, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	dumps := s.FlightDumps()
+	if err := telemetry.WriteFlightDumps(f, dumps); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "prdrbsim: wrote %d flight dumps to %s\n", len(dumps), path)
+	return nil
 }
 
 // runToHorizon executes the simulation to horizon, first resuming from a
@@ -507,7 +570,8 @@ func runToHorizon(s *prdrb.Sim, horizon prdrb.Time, spec runSpec) (prdrb.Results
 }
 
 func runOnce(topo prdrb.Topology, policy prdrb.Policy, seed uint64, spec runSpec) (*prdrb.Sim, prdrb.Results, prdrb.Time, error) {
-	exp := prdrb.Experiment{Topology: topo, Policy: policy, Seed: seed, Telemetry: spec.telemetry, Shards: spec.shards}
+	exp := prdrb.Experiment{Topology: topo, Policy: policy, Seed: seed, Telemetry: spec.telemetry, Shards: spec.shards,
+		Congestion: spec.congestion, CongestionWindow: spec.congWindow}
 	if spec.goal != nil {
 		// Goal replay drives the serial engine directly (like trace replay),
 		// so the run is identical for every -shards value.

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"prdrb/internal/runner"
+	"prdrb/internal/telemetry"
+)
+
+// cmdCongestion renders the congestion artifact written by
+// `prdrbsim -congestion-out`: the link-class weather map, the per-VC
+// busy/stall breakdown, the latency attribution (queueing vs
+// serialization vs ACK overhead vs detour), the per-flow-class FCT
+// percentiles, and the hottest links. With -csv-dir it also writes the
+// per-window class-utilization timeline and the full per-link table as
+// CSVs. Everything is a pure function of the artifact bytes, so reports
+// from a fixed-seed run are byte-identical across executions.
+func cmdCongestion(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("congestion", flag.ContinueOnError)
+	artifactPath := fs.String("artifact", "", "congestion artifact JSON written by -congestion-out (required)")
+	top := fs.Int("top", 10, "hottest links shown")
+	csvDir := fs.String("csv-dir", "", "write class_timeline.csv and links.csv into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *artifactPath == "" {
+		return fmt.Errorf("congestion: -artifact is required")
+	}
+	a, err := readCongArtifact(*artifactPath)
+	if err != nil {
+		return err
+	}
+	writeCongReport(stdout, *artifactPath, a, *top)
+	if *csvDir != "" {
+		if err := writeCongCSVs(*csvDir, a); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\ncsv: wrote class_timeline.csv and links.csv to %s\n", *csvDir)
+	}
+	return nil
+}
+
+// readCongArtifact loads and schema-checks one artifact.
+func readCongArtifact(path string) (*runner.CongArtifact, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a := &runner.CongArtifact{}
+	if err := json.Unmarshal(b, a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if a.Schema != runner.CongArtifactSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, a.Schema, runner.CongArtifactSchema)
+	}
+	return a, nil
+}
+
+// cus renders nanoseconds as microseconds with two decimals.
+func cus(ns float64) string { return strconv.FormatFloat(ns/1e3, 'f', 2, 64) }
+
+// cf4 renders a ratio with four decimals.
+func cf4(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+func writeCongReport(w io.Writer, path string, a *runner.CongArtifact, top int) {
+	fmt.Fprintf(w, "congestion report: %s\n", path)
+	fmt.Fprintf(w, "  policy=%s seed=%d shards=%d topology=%s\n", a.Policy, a.Seed, a.Shards, a.Topology)
+	fmt.Fprintf(w, "  horizon=%sus window=%sus windows=%d flight: events=%d dumps=%d\n",
+		cus(float64(a.AtNs)), cus(float64(a.WindowNs)), len(a.Windows), a.FlightEvents, a.FlightDumps)
+
+	fmt.Fprintf(w, "\nlink weather map (cumulative):\n")
+	fmt.Fprintf(w, "  %-10s %6s %8s %14s %12s %14s %12s\n",
+		"class", "links", "util", "tx_bytes", "avg_wait_us", "avg_queue_B", "stall_us")
+	var globalBusy, localBusy float64
+	for _, c := range a.Classes {
+		fmt.Fprintf(w, "  %-10s %6d %8s %14d %12s %14s %12s\n",
+			c.Class, c.Links, cf4(c.Utilization), c.TxBytes,
+			cus(c.AvgWaitNs), cf4(c.AvgQueueBytes), cus(float64(c.StallNs)))
+		switch c.Class {
+		case "global":
+			globalBusy = c.Utilization * float64(c.Links)
+		case "local":
+			localBusy = c.Utilization * float64(c.Links)
+		}
+	}
+	if globalBusy > 0 && localBusy > 0 {
+		// The hierarchical-topology pressure ratio: how much hotter the
+		// scarce wraparound/global links run than the local fabric.
+		fmt.Fprintf(w, "  global-vs-local busy ratio: %s\n", cf4(globalBusy/localBusy))
+	}
+
+	if len(a.VCBusyNs) > 0 {
+		fmt.Fprintf(w, "\nvirtual channels:\n")
+		fmt.Fprintf(w, "  %-4s %14s %14s\n", "vc", "busy_us", "stall_us")
+		for vc := range a.VCBusyNs {
+			fmt.Fprintf(w, "  %-4d %14s %14s\n", vc,
+				cus(float64(a.VCBusyNs[vc])), cus(float64(a.VCStallNs[vc])))
+		}
+		fmt.Fprintf(w, "  ack-class busy: %sus\n", cus(float64(a.AckBusyNs)))
+	}
+
+	if at := a.Attribution; at != nil {
+		fmt.Fprintf(w, "\nlatency attribution (%d delivered packets):\n", at.Pkts)
+		total := at.MeanTotalNs
+		pct := func(v float64) string {
+			if total <= 0 {
+				return cf4(0)
+			}
+			return cf4(v / total)
+		}
+		fmt.Fprintf(w, "  mean total         %10sus\n", cus(total))
+		fmt.Fprintf(w, "  queueing           %10sus  (%s)\n", cus(at.MeanQueueNs), pct(at.MeanQueueNs))
+		fmt.Fprintf(w, "  serialization      %10sus  (%s)\n", cus(at.MeanSerNs), pct(at.MeanSerNs))
+		fmt.Fprintf(w, "  propagation        %10sus  (%s)\n", cus(at.MeanPropNs), pct(at.MeanPropNs))
+		fmt.Fprintf(w, "  ack overhead       %10sus  (per delivered pkt, fabric-side)\n", cus(at.MeanAckNs))
+		fmt.Fprintf(w, "  detoured           %d pkts", at.DetourPkts)
+		if at.DetourPkts > 0 {
+			fmt.Fprintf(w, ", mean %sus vs %sus overall", cus(at.DetourMeanNs), cus(total))
+		}
+		fmt.Fprintln(w)
+	}
+
+	if len(a.FCT) > 0 {
+		fmt.Fprintf(w, "\nflow completion times:\n")
+		fmt.Fprintf(w, "  %-10s %10s %14s %12s %12s %10s %10s\n",
+			"class", "flows", "bytes", "p50_us", "p99_us", "slow_p50", "slow_p99")
+		for _, c := range a.FCT {
+			fmt.Fprintf(w, "  %-10s %10d %14d %12s %12s %10s %10s\n",
+				c.Class, c.Count, c.Bytes, cus(c.FCTP50Ns), cus(c.FCTP99Ns),
+				cf4(c.SlowdownP50), cf4(c.SlowdownP99))
+		}
+	}
+
+	if len(a.Links) > 0 && top > 0 {
+		links := append([]runner.CongLinkReport(nil), a.Links...)
+		sort.SliceStable(links, func(i, j int) bool { return links[i].Utilization > links[j].Utilization })
+		if len(links) > top {
+			links = links[:top]
+		}
+		fmt.Fprintf(w, "\nhottest links (top %d of %d by utilization):\n", len(links), len(a.Links))
+		fmt.Fprintf(w, "  %-12s %-10s %8s %14s %12s %12s\n",
+			"link", "class", "util", "tx_bytes", "avg_wait_us", "stall_us")
+		for _, l := range links {
+			fmt.Fprintf(w, "  %-12s %-10s %8s %14d %12s %12s\n",
+				l.Link, l.Class, cf4(l.Utilization), l.TxBytes,
+				cus(l.AvgWaitNs), cus(float64(l.StallNs)))
+		}
+	}
+}
+
+// writeCongCSVs writes the per-window class-utilization timeline and the
+// full per-link table.
+func writeCongCSVs(dir string, a *runner.CongArtifact) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var tl []byte
+	tl = append(tl, "end_us"...)
+	for _, c := range a.Classes {
+		tl = append(tl, (",util_" + c.Class)...)
+	}
+	tl = append(tl, ",max_link_util,max_link,drops,stall_us\n"...)
+	for _, win := range a.Windows {
+		tl = append(tl, cus(float64(win.EndNs))...)
+		for i := range a.Classes {
+			u := 0.0
+			if i < len(win.Util) {
+				u = win.Util[i]
+			}
+			tl = append(tl, ',')
+			tl = append(tl, cf4(u)...)
+		}
+		tl = append(tl, fmt.Sprintf(",%s,%s,%d,%s\n",
+			cf4(win.MaxLinkUtil), win.MaxLink, win.Drops, cus(float64(win.StallNs)))...)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "class_timeline.csv"), tl, 0o644); err != nil {
+		return err
+	}
+	var lk []byte
+	lk = append(lk, "link,class,utilization,tx_bytes,deq_pkts,avg_wait_us,avg_queue_bytes,stall_us\n"...)
+	for _, l := range a.Links {
+		lk = append(lk, fmt.Sprintf("%s,%s,%s,%d,%d,%s,%s,%s\n",
+			l.Link, l.Class, cf4(l.Utilization), l.TxBytes, l.DeqPkts,
+			cus(l.AvgWaitNs), cf4(l.AvgQueueBytes), cus(float64(l.StallNs)))...)
+	}
+	return os.WriteFile(filepath.Join(dir, "links.csv"), lk, 0o644)
+}
+
+// cmdFlightValidate structurally checks a flight-dump JSONL file written
+// by `prdrbsim -flight` and prints a per-trigger summary.
+func cmdFlightValidate(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("flight-validate", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("flight-validate: one JSONL path required")
+	}
+	path := fs.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	var dumps, events int
+	for dec.More() {
+		var d telemetry.FlightDump
+		if err := dec.Decode(&d); err != nil {
+			return fmt.Errorf("%s: dump %d: %w", path, dumps+1, err)
+		}
+		if d.Trigger == "" {
+			return fmt.Errorf("%s: dump %d has no trigger", path, dumps+1)
+		}
+		dumps++
+		events += len(d.Events)
+	}
+	fmt.Fprintf(stdout, "flight: %s ok (%d dumps, %d events)\n", path, dumps, events)
+	return nil
+}

@@ -15,6 +15,8 @@
 //	prdrbtrace validate -trace run.jsonl [-manifest run-manifest.json]
 //	prdrbtrace metrics-validate [exposition.txt]
 //	prdrbtrace perf -report perf.json [-det] [-trace perf.trace.json]
+//	prdrbtrace congestion -artifact cong.json [-top 10] [-csv-dir DIR]
+//	prdrbtrace flight-validate dumps.jsonl
 package main
 
 import (
@@ -39,7 +41,7 @@ func main() {
 // run dispatches the subcommand; stdout is injected for tests.
 func run(args []string, stdout io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: prdrbtrace <report|validate|metrics-validate|perf> [flags]")
+		return fmt.Errorf("usage: prdrbtrace <report|validate|metrics-validate|perf|congestion|flight-validate> [flags]")
 	}
 	switch args[0] {
 	case "report":
@@ -50,8 +52,12 @@ func run(args []string, stdout io.Writer) error {
 		return cmdMetricsValidate(args[1:], stdout)
 	case "perf":
 		return cmdPerf(args[1:], stdout)
+	case "congestion":
+		return cmdCongestion(args[1:], stdout)
+	case "flight-validate":
+		return cmdFlightValidate(args[1:], stdout)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want report, validate, metrics-validate or perf)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want report, validate, metrics-validate, perf, congestion or flight-validate)", args[0])
 	}
 }
 

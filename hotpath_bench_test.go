@@ -41,6 +41,16 @@ func TestHotPathZeroAlloc(t *testing.T) {
 	if s.Telemetry != nil || s.Net.Tracer() != nil {
 		t.Fatal("telemetry must stay detached unless the experiment asks for it")
 	}
+	// Same contract for the congestion observability plane: off by default,
+	// so its port-level hooks reduce to nil checks covered by this bound.
+	if s.Net.CongestionEnabled() {
+		t.Fatal("congestion accounting must stay detached unless the experiment asks for it")
+	}
+	for _, rec := range s.Net.FlightRecorders() {
+		if rec != nil {
+			t.Fatal("flight recorder attached without Experiment.Congestion")
+		}
+	}
 	// Sustained load, stable queues: the measurement runs against this.
 	if err := s.InstallPattern(PatternSpec{Pattern: "uniform", RateMbps: 400, Start: 0, End: Second}); err != nil {
 		t.Fatal(err)

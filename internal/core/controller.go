@@ -83,6 +83,9 @@ type Controller struct {
 	// Trace records the controller's decisions as control events (nil =
 	// tracing off; every emission is nil-guarded by the tracer itself).
 	Trace *telemetry.Tracer
+	// Rec feeds metapath open/close transitions into the shard's flight
+	// recorder (nil = recorder off).
+	Rec *telemetry.FlightRecorder
 
 	Stats Stats
 }
@@ -358,7 +361,19 @@ func (c *Controller) pruneDeadPaths(mp *metapath) {
 	mp.paths = kept
 	if pruned > 0 {
 		c.Trace.Control(c.eng.Now(), telemetry.KindMetapathClose, int(c.Node), int(mp.dst), 0, int64(len(mp.paths)))
+		c.recordFlight(telemetry.FlightPathClose, mp.dst, len(mp.paths))
 	}
+}
+
+// recordFlight feeds one metapath transition into the flight recorder.
+func (c *Controller) recordFlight(kind string, dst topology.NodeID, paths int) {
+	if c.Rec == nil {
+		return
+	}
+	c.Rec.Record(telemetry.FlightEvent{
+		AtNs: int64(c.eng.Now()), Kind: kind, Router: -1, Port: -1, VC: -1,
+		Src: int(c.Node), Dst: int(dst), Val: int64(paths),
+	})
 }
 
 // maybeOpen grows the metapath by one alternative path (§3.2.3), respecting
@@ -401,6 +416,7 @@ func (c *Controller) maybeOpen(e *sim.Engine, mp *metapath) {
 		mp.lastOpen = e.Now()
 		c.Stats.PathsOpened++
 		c.Trace.Control(e.Now(), telemetry.KindMetapathOpen, int(c.Node), int(mp.dst), 0, int64(len(mp.paths)))
+		c.recordFlight(telemetry.FlightPathOpen, mp.dst, len(mp.paths))
 		return
 	}
 }
@@ -446,6 +462,7 @@ func (c *Controller) relax(mp *metapath) {
 	if n := len(mp.paths); n > 1 {
 		c.Stats.PathsClosed += int64(n - 1)
 		c.Trace.Control(c.eng.Now(), telemetry.KindMetapathClose, int(c.Node), int(mp.dst), 0, 1)
+		c.recordFlight(telemetry.FlightPathClose, mp.dst, 1)
 	}
 	mp.paths = mp.paths[:1]
 	mp.paths[0].latNs = float64(c.Cfg.LatencyFloor)
@@ -488,6 +505,7 @@ func (c *Controller) maybeClose(mp *metapath) {
 	mp.paths = append(mp.paths[:worst], mp.paths[worst+1:]...)
 	c.Stats.PathsClosed++
 	c.Trace.Control(c.eng.Now(), telemetry.KindMetapathClose, int(c.Node), int(mp.dst), 0, int64(len(mp.paths)))
+	c.recordFlight(telemetry.FlightPathClose, mp.dst, len(mp.paths))
 }
 
 // evidence builds the current contending-flow signature for a destination
@@ -615,6 +633,7 @@ func Install(net *network.Network, cfg Config, rngSeed uint64) []*Controller {
 		ctl := New(node, net.Topo, eng, cfg, root.Split(uint64(node)+1))
 		ctl.PathCheck = net.PathUsable
 		ctl.Trace = net.TracerForNode(node)
+		ctl.Rec = net.RecorderForNode(node)
 		if col := net.CollectorForNode(node); col != nil {
 			ctl.OnRecovery = col.PathRecovered
 		}

@@ -72,4 +72,25 @@ func (c *Collector) EncodeState(e *ckpt.Enc) {
 	encSeries(e, c.GlobalSeries)
 	encHistogram(e, c.Hist)
 	encHistogram(e, c.Recovery)
+	a := &c.Attrib
+	e.I64(a.Pkts)
+	e.I64(a.TotalNs)
+	e.I64(a.QueueNs)
+	e.I64(a.SerNs)
+	e.I64(a.DetourPkts)
+	e.I64(a.DetourNs)
+	if c.FCT == nil {
+		e.Bool(false)
+	} else {
+		e.Bool(true)
+		e.I64(c.FCT.MiceMaxBytes)
+		e.I64(c.FCT.ElephantMinBytes)
+		for i := range c.FCT.Classes {
+			cl := &c.FCT.Classes[i]
+			e.I64(cl.Count)
+			e.I64(cl.Bytes)
+			encHistogram(e, cl.FCT)
+			encHistogram(e, cl.Slowdown)
+		}
+	}
 }

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"testing"
+
+	"prdrb/internal/sim"
+)
+
+func TestFlowClassOf(t *testing.T) {
+	f := NewFCTStats(16<<10, 1<<20)
+	cases := []struct {
+		bytes int64
+		want  int
+	}{
+		{1, FlowClassMice},
+		{16 << 10, FlowClassMice},     // inclusive upper bound
+		{16<<10 + 1, FlowClassMedium}, // first medium size
+		{1<<20 - 1, FlowClassMedium},
+		{1 << 20, FlowClassElephant}, // inclusive lower bound
+		{1 << 30, FlowClassElephant},
+	}
+	for _, c := range cases {
+		if got := f.ClassOf(c.bytes); got != c.want {
+			t.Errorf("ClassOf(%d) = %s, want %s", c.bytes, FlowClassNames[got], FlowClassNames[c.want])
+		}
+	}
+}
+
+func TestFCTObserveAndMerge(t *testing.T) {
+	a := NewFCTStats(100, 1000)
+	// 50 B mouse completing in 2000 ns against a 1000 ns ideal: slowdown 2x.
+	a.Observe(50, 2000, 1000)
+	a.Observe(5000, 9000, 3000) // elephant, slowdown 3x
+	b := NewFCTStats(100, 1000)
+	b.Observe(60, 4000, 1000) // mouse, slowdown 4x
+
+	a.Merge(b)
+	a.Merge(nil) // must be a no-op
+
+	mice := a.Classes[FlowClassMice]
+	if mice.Count != 2 || mice.Bytes != 110 {
+		t.Fatalf("mice = count %d bytes %d, want 2/110", mice.Count, mice.Bytes)
+	}
+	if got := mice.FCT.Quantile(1.0); got != 4000 {
+		t.Errorf("mice FCT max = %v, want 4000", got)
+	}
+	// Slowdown is stored in milli-units.
+	if got := mice.Slowdown.Quantile(0); got != 2000 {
+		t.Errorf("mice slowdown min = %v, want 2000 (2.0x)", got)
+	}
+	el := a.Classes[FlowClassElephant]
+	if el.Count != 1 || el.Slowdown.Quantile(1.0) != 3000 {
+		t.Errorf("elephant = %+v, want one 3.0x observation", el)
+	}
+	if a.Classes[FlowClassMedium].Count != 0 {
+		t.Error("medium class polluted")
+	}
+}
+
+func TestAttributionObserveMerge(t *testing.T) {
+	var a, b Attribution
+	a.Observe(1000, 300, 200, false)
+	a.Observe(2000, 800, 400, true)
+	b.Observe(500, 100, 50, false)
+	a.Merge(b)
+	want := Attribution{Pkts: 3, TotalNs: 3500, QueueNs: 1200, SerNs: 650, DetourPkts: 1, DetourNs: 2000}
+	if a != want {
+		t.Fatalf("merged attribution = %+v, want %+v", a, want)
+	}
+}
+
+// The delivery-observer gates must make every congestion hook a no-op on a
+// collector built without EnableCongestion — that is the disabled-is-free
+// contract the hot path relies on.
+func TestDeliveryObserverCongestionGate(t *testing.T) {
+	c := NewCollector(4, 2, 0)
+	o := c.DeliveryObserver(1)
+	if o.CongestionOn() {
+		t.Fatal("congestion reported on before EnableCongestion")
+	}
+	o.MessageCompleted(100, 1000, 500) // must not panic or record
+	o.PacketAttributed(1000, 1, 2, false)
+	if c.FCT != nil || c.Attrib.Pkts != 0 {
+		t.Fatal("disabled hooks recorded state")
+	}
+
+	c.EnableCongestion(16<<10, 1<<20)
+	if !o.CongestionOn() {
+		t.Fatal("congestion not on after EnableCongestion")
+	}
+	o.MessageCompleted(100, 1000, 500)
+	o.PacketAttributed(1000, 1, 2, true)
+	if c.FCT.Classes[FlowClassMice].Count != 1 {
+		t.Fatal("enabled MessageCompleted not recorded")
+	}
+	if c.Attrib.Pkts != 1 || c.Attrib.DetourPkts != 1 {
+		t.Fatalf("enabled PacketAttributed not recorded: %+v", c.Attrib)
+	}
+
+	var zero DeliveryObserver
+	if zero.CongestionOn() {
+		t.Fatal("zero observer reports congestion on")
+	}
+	zero.MessageCompleted(1, 1, 1) // nil collector must be safe
+	zero.PacketAttributed(1, 1, 1, false)
+	_ = sim.Time(0)
+}

@@ -133,6 +133,13 @@ func MergeCollectors(parts []*Collector) *Collector {
 		out.Throughput.Merge(p.Throughput)
 		out.Hist.Merge(p.Hist)
 		out.Recovery.Merge(p.Recovery)
+		if p.FCT != nil {
+			if out.FCT == nil {
+				out.FCT = NewFCTStats(p.FCT.MiceMaxBytes, p.FCT.ElephantMinBytes)
+			}
+			out.FCT.Merge(p.FCT)
+		}
+		out.Attrib.Merge(p.Attrib)
 	}
 	if window > 0 {
 		series := make([]*Series, len(parts))

@@ -378,6 +378,12 @@ type Collector struct {
 	// between a source learning one of its paths died and the next
 	// successful delivery acknowledgement for that destination.
 	Recovery *Histogram
+	// FCT holds per-flow-size-class completion stats when congestion
+	// collection is enabled (nil otherwise — the gate every congestion
+	// observation site checks). Attrib is the matching latency-attribution
+	// account; its zero value is inert.
+	FCT    *FCTStats
+	Attrib Attribution
 }
 
 // NewCollector builds a collector for nodes terminals and routers switches;

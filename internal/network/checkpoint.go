@@ -55,6 +55,9 @@ func encodePacket(e *ckpt.Enc, p *Packet) {
 	e.Int(p.curDim)
 	e.Bool(p.dateline)
 	e.Int(p.lastClass)
+	e.Int(p.hops)
+	e.I64(int64(p.queueNs))
+	e.I64(int64(p.serNs))
 }
 
 // encodeState appends one output port: link status, arbitration state,
@@ -90,6 +93,22 @@ func (op *outPort) encodeState(e *ckpt.Enc) {
 			pd := &op.parked[vc][i]
 			encodePacket(e, pd.pkt)
 			e.Int(pd.fromVC)
+		}
+	}
+	if cp := op.cong; cp == nil {
+		e.Bool(false)
+	} else {
+		e.Bool(true)
+		e.I64(cp.waitNs)
+		e.I64(cp.deqPkts)
+		e.I64(cp.occBytes)
+		e.I64(int64(cp.occLast))
+		e.I64(cp.occInt)
+		e.Int(len(cp.vcBusyNs))
+		for vc := range cp.vcBusyNs {
+			e.I64(cp.vcBusyNs[vc])
+			e.I64(cp.vcStallNs[vc])
+			e.I64(int64(cp.stallFrom[vc]))
 		}
 	}
 }

@@ -70,6 +70,12 @@ type Config struct {
 	// GenerateAcks enables destination ACKs. The DRB family requires them;
 	// oblivious baselines run without the ACK overhead.
 	GenerateAcks bool
+
+	// Congestion enables per-port/per-VC congestion accounting (busy,
+	// queue-occupancy and credit-stall integrals; see congestion.go).
+	// Off by default: disabled ports carry a nil accumulator and the hot
+	// path pays one predictable branch per hook.
+	Congestion bool
 }
 
 // DefaultConfig returns the Table 4.2/4.3 parameter set.

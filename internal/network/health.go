@@ -90,6 +90,15 @@ func (n *Network) setLinkDown(r topology.RouterID, p int, down bool) error {
 		kind = telemetry.KindLinkDown
 	}
 	op.sh.Tracer.RouterEvent(op.sh.Eng.Now(), kind, int(r), p, 0)
+	if op.sh.Rec != nil {
+		fk := telemetry.FlightLinkUp
+		if down {
+			fk = telemetry.FlightLinkDown
+		}
+		op.sh.Rec.Record(telemetry.FlightEvent{
+			AtNs: int64(op.sh.Eng.Now()), Kind: fk, Router: int(r), Port: p, VC: -1,
+		})
+	}
 	if !down {
 		// Repair: buffered packets resume service immediately.
 		op.pump(op.sh.Eng)
@@ -128,6 +137,12 @@ func (n *Network) DegradeLink(r topology.RouterID, p int, factor float64) error 
 	op.rate = factor
 	rev.rate = factor
 	op.sh.Tracer.RouterEvent(op.sh.Eng.Now(), telemetry.KindLinkDegrade, int(r), p, int64(factor*1000))
+	if op.sh.Rec != nil {
+		op.sh.Rec.Record(telemetry.FlightEvent{
+			AtNs: int64(op.sh.Eng.Now()), Kind: telemetry.FlightLinkDegrade,
+			Router: int(r), Port: p, VC: -1, Val: int64(factor * 1000),
+		})
+	}
 	return nil
 }
 
@@ -182,6 +197,13 @@ func (n *Network) dropPacketAt(e *sim.Engine, sh *Shard, pkt *Packet, router int
 	}
 	if sh.Tracer.Sampled(pkt.ID) {
 		sh.Tracer.PacketDropped(e.Now(), pkt.ID, int(pkt.Src), int(pkt.Dst), router)
+	}
+	if sh.Rec != nil {
+		sh.Rec.Record(telemetry.FlightEvent{
+			AtNs: int64(e.Now()), Kind: telemetry.FlightDrop,
+			Router: router, Port: -1, VC: -1,
+			Pkt: pkt.ID, Src: int(pkt.Src), Dst: int(pkt.Dst),
+		})
 	}
 	node := pkt.Src
 	if pkt.Type == AckPacket {

@@ -161,6 +161,9 @@ func build(topo topology.Topology, cfg Config, policy RouterPolicy, shards []*Sh
 			// Resolve the contention-metrics handle once, at wiring time.
 			op.obs = sh.Collector.Contention.Observer(int(router))
 		}
+		if cfg.Congestion {
+			op.cong = newCongPort(n.numVC)
+		}
 		return op
 	}
 	// Routers and their output ports.
@@ -311,6 +314,13 @@ func (n *Network) injectPredictiveAcks(e *sim.Engine, from *outPort, flows []Flo
 	r := n.Routers[from.router]
 	sh := from.sh
 	sh.Tracer.RouterEvent(e.Now(), telemetry.KindPredAck, int(from.router), from.port, int64(len(flows)))
+	if sh.Rec != nil {
+		sh.Rec.Record(telemetry.FlightEvent{
+			AtNs: int64(e.Now()), Kind: telemetry.FlightPredAck,
+			Router: int(from.router), Port: from.port, VC: -1,
+			Val: int64(len(flows)),
+		})
+	}
 	for _, f := range flows {
 		ack := sh.newPacket()
 		ack.Type = AckPacket

@@ -3,6 +3,7 @@ package network
 import (
 	"prdrb/internal/metrics"
 	"prdrb/internal/sim"
+	"prdrb/internal/telemetry"
 	"prdrb/internal/topology"
 )
 
@@ -80,6 +81,12 @@ func (n *NIC) Send(e *sim.Engine, dst topology.NodeID, bytes int, mpiType uint8,
 			n.sh.Collector.MessageUnreachable()
 		}
 		n.sh.Tracer.Unreachable(e.Now(), int(n.ID), int(dst))
+		if n.sh.Rec != nil {
+			n.sh.Rec.Record(telemetry.FlightEvent{
+				AtNs: int64(e.Now()), Kind: telemetry.FlightUnreachable,
+				Router: -1, Port: -1, VC: -1, Src: int(n.ID), Dst: int(dst),
+			})
+		}
 		return msgID
 	}
 	frags := (bytes + cfg.PacketBytes - 1) / cfg.PacketBytes
@@ -143,7 +150,14 @@ func (n *NIC) accept(e *sim.Engine, pkt *Packet, _ *outPort, _ int) bool {
 		n.sh.releasePacket(pkt)
 	case DataPacket:
 		if n.deliv.Valid() {
-			n.deliv.PacketDelivered(pkt.SizeBytes, e.Now()-pkt.CreatedAt, e.Now())
+			lat := e.Now() - pkt.CreatedAt
+			n.deliv.PacketDelivered(pkt.SizeBytes, lat, e.Now())
+			if n.deliv.CongestionOn() {
+				// Exact per-packet latency split: buffer waits and per-hop
+				// serialization integrate in the packet; the remainder is
+				// propagation. Waypointed packets are the detour population.
+				n.deliv.PacketAttributed(lat, pkt.queueNs, pkt.serNs, len(pkt.Waypoints) > 0)
+			}
 		}
 		if n.sh.Tracer.Sampled(pkt.ID) {
 			n.sh.Tracer.PacketDelivered(e.Now(), pkt.ID, int(pkt.Src), int(pkt.Dst), e.Now()-pkt.CreatedAt, pkt.MPIType)
@@ -192,6 +206,12 @@ func (n *NIC) reassemble(e *sim.Engine, pkt *Packet) {
 	// the reassembly map entirely: no entry churn on the hot path.
 	if pkt.FragCount == 1 {
 		n.Delivered++
+		if n.deliv.CongestionOn() {
+			// Flow completion: creation to last-fragment arrival, against
+			// the message's uncontended line-rate serialization.
+			n.deliv.MessageCompleted(int64(pkt.SizeBytes), e.Now()-pkt.CreatedAt,
+				n.net.Cfg.SerializationTime(pkt.SizeBytes))
+		}
 		if n.OnMessage != nil {
 			n.OnMessage(e, pkt.Src, pkt.MsgID, pkt.SizeBytes, pkt.MPIType, pkt.MPISeq)
 		}
@@ -209,6 +229,12 @@ func (n *NIC) reassemble(e *sim.Engine, pkt *Packet) {
 	}
 	delete(n.reasm, pkt.MsgID)
 	n.Delivered++
+	if n.deliv.CongestionOn() {
+		// All fragments share CreatedAt (Send stamps them in one event),
+		// so the last arrival closes the whole message's completion time.
+		n.deliv.MessageCompleted(int64(ra.bytes), e.Now()-pkt.CreatedAt,
+			n.net.Cfg.SerializationTime(ra.bytes))
+	}
 	if n.OnMessage != nil {
 		n.OnMessage(e, pkt.Src, pkt.MsgID, ra.bytes, pkt.MPIType, pkt.MPISeq)
 	}

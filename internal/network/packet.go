@@ -156,6 +156,16 @@ type Packet struct {
 	curDim    int
 	dateline  bool
 	lastClass int
+
+	// Latency-attribution integrals (not wire fields): hops counts pumps
+	// through output ports (injection included); queueNs accumulates the
+	// exact buffer-wait and serNs the critical-path (cut-through header)
+	// serialization the packet experienced, including degraded-rate
+	// stretch. Read at delivery by the congestion attribution
+	// (metrics.Attribution); zeroed when the pool recycles the record.
+	hops    int
+	queueNs sim.Time
+	serNs   sim.Time
 }
 
 // Flow returns the packet's flow key.

@@ -5,6 +5,7 @@ import (
 
 	"prdrb/internal/metrics"
 	"prdrb/internal/sim"
+	"prdrb/internal/telemetry"
 	"prdrb/internal/topology"
 )
 
@@ -95,6 +96,10 @@ type outPort struct {
 	// stats (invalid for NIC ports or when no collector is attached), so the
 	// hot path never indexes through the collector.
 	obs metrics.RouterObserver
+	// cong is the port's congestion accumulator (congestion.go); nil when
+	// congestion accounting is off, so disabled runs pay one predictable
+	// branch per hook and allocate nothing.
+	cong *congPort
 	// queuedScratch backs the monitor callback's queued list between calls.
 	queuedScratch []*Packet
 }
@@ -145,6 +150,9 @@ func (o *outPort) free(vc int) int { return o.vcCap - o.vcs[vc].bytes }
 // enqueue admits pkt into VC vc; the caller has verified space.
 func (o *outPort) enqueue(e *sim.Engine, pkt *Packet, vc int) {
 	pkt.enqueuedAt = e.Now()
+	if o.cong != nil {
+		o.cong.enqueued(e.Now(), pkt.SizeBytes)
+	}
 	o.vcs[vc].q = append(o.vcs[vc].q, pkt)
 	o.vcs[vc].bytes += pkt.SizeBytes
 	o.pump(e)
@@ -191,6 +199,11 @@ func (o *outPort) pump(e *sim.Engine) {
 	o.busy = true
 
 	wait := e.Now() - pkt.enqueuedAt
+	pkt.hops++
+	pkt.queueNs += wait
+	if o.cong != nil {
+		o.cong.dequeued(e.Now(), pkt.SizeBytes, wait)
+	}
 	if o.router >= 0 {
 		// Latency Update module (Eq 3.3): accumulate buffer wait into the
 		// packet and record the router's contention latency.
@@ -223,6 +236,14 @@ func (o *outPort) pump(e *sim.Engine) {
 	o.serEnd = e.Now() + ser
 	o.busyNs += ser
 	o.txBytes += int64(pkt.SizeBytes)
+	// Attribution integrates the serialization on the packet's critical
+	// path: under cut-through the downstream hop proceeds after the header
+	// time, so only cut delays this packet — the body's ser tail shows up
+	// as queueing behind the busy link downstream, never double-counted.
+	pkt.serNs += cut
+	if o.cong != nil {
+		o.cong.vcBusyNs[vc] += int64(ser)
+	}
 	if o.remote != nil {
 		o.sendRemote(e, pkt, vc, cut)
 		return
@@ -390,6 +411,16 @@ func (o *outPort) deliver(e *sim.Engine, pkt *Packet, vc int) {
 	if !o.peer.accept(e, pkt, o, vc) {
 		o.parkedOut[vc] = true
 		o.sh.creditsStalled++
+		if o.cong != nil && o.cong.stallFrom[vc] < 0 {
+			o.cong.stallFrom[vc] = e.Now()
+		}
+		if o.sh.Rec != nil {
+			o.sh.Rec.Record(telemetry.FlightEvent{
+				AtNs: int64(e.Now()), Kind: telemetry.FlightStall,
+				Router: int(o.router), Port: o.port, VC: vc,
+				Pkt: pkt.ID, Src: int(pkt.Src), Dst: int(pkt.Dst),
+			})
+		}
 	}
 	o.freeLink(e)
 }
@@ -398,6 +429,12 @@ func (o *outPort) deliver(e *sim.Engine, pkt *Packet, vc int) {
 // packet: the VC's credit comes back.
 func (o *outPort) creditReturned(e *sim.Engine, vc int) {
 	o.parkedOut[vc] = false
+	if o.cong != nil {
+		if s := o.cong.stallFrom[vc]; s >= 0 {
+			o.cong.vcStallNs[vc] += int64(e.Now() - s)
+			o.cong.stallFrom[vc] = -1
+		}
+	}
 	o.pump(e)
 }
 

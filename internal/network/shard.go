@@ -42,6 +42,10 @@ type Shard struct {
 	// Tracer is this shard's trace buffer (a fork of the run tracer in
 	// sharded mode, the run tracer itself in serial mode). Nil disables.
 	Tracer *telemetry.Tracer
+	// Rec is this shard's flight recorder: bounded per-router rings of
+	// cold-path events the congestion sampler dumps on anomaly triggers.
+	// Nil disables (the default).
+	Rec *telemetry.FlightRecorder
 
 	// Packet freelist (see pool.go for the lifecycle invariants). IDs are
 	// strided by the shard count so they stay globally unique and

@@ -155,6 +155,39 @@ func (s *Sim) CaptureCheckpoint() (*ckpt.File, error) {
 	run.U64(s.rng.State()[1])
 	run.U64(s.rng.State()[2])
 	run.U64(s.rng.State()[3])
+	// Congestion sampler state: window history and dump summaries. Replay
+	// regenerates all of it deterministically (the sampler is ordinary
+	// engine/barrier work), so encoding it extends verify coverage to the
+	// observability plane at zero restore complexity.
+	if cs := s.cong; cs == nil {
+		run.Bool(false)
+	} else {
+		run.Bool(true)
+		run.I64(int64(cs.window))
+		run.I64(int64(cs.lastClose))
+		run.I64(cs.prevStall)
+		run.I64(cs.prevDrops)
+		run.F64(cs.prevMaxUtil)
+		run.Int(len(cs.windows))
+		for _, w := range cs.windows {
+			run.I64(w.EndNs)
+			run.Int(len(w.Util))
+			for _, u := range w.Util {
+				run.F64(u)
+			}
+			run.F64(w.MaxLinkUtil)
+			run.Str(w.MaxLink)
+			run.I64(w.Drops)
+			run.I64(w.StallNs)
+		}
+		run.Int(len(cs.dumps))
+		for _, d := range cs.dumps {
+			run.I64(d.AtNs)
+			run.Str(d.Trigger)
+			run.Str(d.Detail)
+			run.Int(len(d.Events))
+		}
+	}
 
 	return &ckpt.File{Version: ckpt.Version, Sections: []ckpt.Section{
 		{ID: ckpt.SecMeta, Payload: meta.Bytes()},

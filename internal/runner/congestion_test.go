@@ -1,0 +1,196 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"prdrb/internal/sim"
+	"prdrb/internal/telemetry"
+)
+
+const congTestHorizon = sim.Time(500_000)
+
+// congTestSim builds a congestion-enabled simulation under heavy-tailed
+// load on the default fat-tree.
+func congTestSim(t *testing.T, shards int) *Sim {
+	t.Helper()
+	s := MustNew(Experiment{
+		Policy: PolicyPRDRB, Seed: 21, Shards: shards,
+		Congestion: true, CongestionWindow: 10_000,
+	})
+	if err := s.InstallHeavyTail(HeavyTailSpec{
+		CDF: "websearch", MaxFlowBytes: 64 << 10,
+		LoadMbps: 300, OnMean: 50_000, OffMean: 25_000, End: 150_000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func artifactJSON(t *testing.T, s *Sim) []byte {
+	t.Helper()
+	a, err := s.CongestionArtifact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestCongestionArtifactContent checks the weather map, FCT classes and
+// latency attribution a loaded run must produce.
+func TestCongestionArtifactContent(t *testing.T) {
+	s := congTestSim(t, 1)
+	s.Execute(congTestHorizon)
+	a, err := s.CongestionArtifact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schema != CongArtifactSchema {
+		t.Fatalf("schema = %q", a.Schema)
+	}
+	if len(a.Windows) < 10 {
+		t.Fatalf("only %d weather-map windows over a 500µs run at 10µs cadence", len(a.Windows))
+	}
+	if len(a.Links) == 0 {
+		t.Fatal("no per-link rows")
+	}
+	for _, l := range a.Links {
+		if l.Utilization < 0 || l.Utilization > 1.0001 {
+			t.Fatalf("link %s utilization %f out of range", l.Link, l.Utilization)
+		}
+	}
+	if len(a.FCT) == 0 {
+		t.Fatal("no flow-class completion stats despite completed messages")
+	}
+	for _, c := range a.FCT {
+		if c.Count <= 0 || c.FCTP99Ns < c.FCTP50Ns {
+			t.Fatalf("implausible FCT row %+v", c)
+		}
+	}
+	at := a.Attribution
+	if at == nil || at.Pkts == 0 {
+		t.Fatal("no latency attribution")
+	}
+	// The split must reassemble into the mean total exactly (propagation is
+	// the remainder by construction).
+	if got := at.MeanQueueNs + at.MeanSerNs + at.MeanPropNs; got < at.MeanTotalNs*0.999 || got > at.MeanTotalNs*1.001 {
+		t.Fatalf("attribution split %f does not sum to mean total %f", got, at.MeanTotalNs)
+	}
+	if at.MeanSerNs <= 0 || at.MeanPropNs <= 0 {
+		t.Fatalf("degenerate attribution %+v", at)
+	}
+}
+
+// TestCongestionArtifactDeterministic pins the byte-identical contract:
+// two identical-seed runs must produce identical artifact JSON, serial and
+// sharded.
+func TestCongestionArtifactDeterministic(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		run := func() []byte {
+			s := congTestSim(t, shards)
+			s.Execute(s.AlignCheckpoint(congTestHorizon))
+			return artifactJSON(t, s)
+		}
+		if a, b := run(), run(); !bytes.Equal(a, b) {
+			t.Errorf("shards=%d: artifact differs between identical-seed runs", shards)
+		}
+	}
+}
+
+// TestCongestionDisabledIdentical is the exactly-free gate: building with
+// congestion observability must not change any physical result of the
+// run (the sampler's final self-scheduled tick may extend the drained
+// clock by up to one window, like the status sampler).
+func TestCongestionDisabledIdentical(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		run := func(congestion bool) Results {
+			s := MustNew(Experiment{
+				Policy: PolicyPRDRB, Seed: 42, Shards: shards,
+				Congestion: congestion, CongestionWindow: 10_000,
+			})
+			if err := s.InstallPattern(PatternSpec{Pattern: "shuffle", RateMbps: 400, Start: 0, End: 200_000}); err != nil {
+				t.Fatal(err)
+			}
+			return s.Execute(2_000_000)
+		}
+		plain := run(false)
+		observed := run(true)
+		if observed.Elapsed < plain.Elapsed || observed.Elapsed > plain.Elapsed+10_000 {
+			t.Errorf("shards=%d: drained clock %d vs %d, want within one window",
+				shards, observed.Elapsed, plain.Elapsed)
+		}
+		plain.Elapsed, observed.Elapsed = 0, 0
+		if !reflect.DeepEqual(plain, observed) {
+			t.Errorf("shards=%d: results changed with congestion sampling on:\nplain:    %+v\nobserved: %+v",
+				shards, plain, observed)
+		}
+	}
+}
+
+// TestCongestionArtifactRequiresEnable: the artifact is an explicit
+// opt-in; a default build must refuse it rather than return zeros.
+func TestCongestionArtifactRequiresEnable(t *testing.T) {
+	s := MustNew(Experiment{Policy: PolicyAdaptive, Seed: 1})
+	if _, err := s.CongestionArtifact(); err == nil {
+		t.Fatal("CongestionArtifact succeeded without Experiment.Congestion")
+	}
+	if s.FlightDumps() != nil {
+		t.Fatal("FlightDumps non-nil without congestion")
+	}
+}
+
+// TestCongestionCheckpointRoundTrip proves the new counters survive the
+// replay-verify restore: a resumed run re-reaches the captured congestion
+// state byte-for-byte and continues to an identical artifact.
+func TestCongestionCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cong.ckpt")
+	s := congTestSim(t, 1)
+	s.Execute(200_000)
+	if _, err := s.WriteCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	s.Execute(congTestHorizon)
+	want := artifactJSON(t, s)
+
+	r := congTestSim(t, 1)
+	if _, err := r.Resume(path); err != nil {
+		t.Fatal(err)
+	}
+	r.Execute(congTestHorizon)
+	if got := artifactJSON(t, r); !bytes.Equal(got, want) {
+		t.Fatal("artifact after checkpoint/resume differs from the uninterrupted run")
+	}
+}
+
+// TestCongestionStatusPublished: with a status board attached, the
+// sampler publishes /congestion snapshots with monotonic sequence numbers
+// and the same aggregates the artifact reports.
+func TestCongestionStatusPublished(t *testing.T) {
+	board := telemetry.NewBoard()
+	prev := DefaultStatus
+	DefaultStatus = board
+	defer func() { DefaultStatus = prev }()
+
+	s := congTestSim(t, 1)
+	s.Execute(congTestHorizon)
+	st, ok := board.Congestion()
+	if !ok {
+		t.Fatal("no congestion snapshot published")
+	}
+	if st.Seq == 0 || st.Windows == 0 {
+		t.Fatalf("empty congestion snapshot: %+v", st)
+	}
+	if len(st.Classes) == 0 || st.FCT == nil {
+		t.Fatalf("snapshot missing aggregates: %+v", st)
+	}
+	if len(st.Recent) == 0 {
+		t.Fatal("no recent windows in snapshot")
+	}
+}

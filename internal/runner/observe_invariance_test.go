@@ -1,0 +1,95 @@
+package runner
+
+import (
+	"testing"
+
+	"prdrb/internal/faults"
+	"prdrb/internal/sim"
+)
+
+// quiescentObs is everything the cross-shard-invariant observers report at
+// one quiescent point.
+type quiescentObs struct {
+	down, degraded              int
+	inFlight                    int64
+	offered, delivered, dropped int64
+}
+
+func readObs(s *Sim) quiescentObs {
+	var o quiescentObs
+	o.down, o.degraded = s.Net.LinkHealthCounts()
+	o.inFlight = s.Net.InFlightPkts()
+	o.offered, o.delivered, o.dropped = s.Net.ThroughputTotals()
+	return o
+}
+
+// TestQuiescentObserversShardInvariant pins the observer contract on the
+// conservative-parallel engine: LinkHealthCounts, InFlightPkts and
+// ThroughputTotals, read between Execute calls, must be identical across
+// shards=1/2/4 for the same seed — both mid-run (after the burst has
+// drained) and at the end, and both with a healthy fabric and with a
+// degraded NIC link.
+func TestQuiescentObserversShardInvariant(t *testing.T) {
+	const (
+		burstLen = sim.Time(60_000)  // burst injects over [0, 60µs]
+		midAt    = sim.Time(300_000) // mid-run sample, long after the drain
+		horizon  = sim.Time(600_000)
+	)
+	measure := func(t *testing.T, shards int, degradeNIC bool) (mid, fin quiescentObs) {
+		t.Helper()
+		s := MustNew(Experiment{Policy: PolicyPRDRB, Seed: 7, Shards: shards})
+		if _, err := s.InstallBursts(BurstSpec{
+			Pattern: "shuffle", RateMbps: 400, Len: burstLen, Gap: burstLen, Count: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if degradeNIC {
+			// Halve the bandwidth of terminal 3's NIC link at a fixed
+			// virtual time inside the burst, permanently.
+			r, p := s.Net.Topo.TerminalAttach(3)
+			if _, err := s.InstallFaults(faults.DegradedLink(r, p, 10_000, 0.5, 0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Execute(s.AlignCheckpoint(midAt))
+		mid = readObs(s)
+		s.Execute(s.AlignCheckpoint(horizon))
+		return mid, readObs(s)
+	}
+	for _, degrade := range []bool{false, true} {
+		name := "healthy"
+		if degrade {
+			name = "degraded-nic"
+		}
+		t.Run(name, func(t *testing.T) {
+			baseMid, baseFin := measure(t, 1, degrade)
+			if baseMid.delivered == 0 {
+				t.Fatal("no traffic delivered before the mid-run sample")
+			}
+			if baseMid.inFlight != 0 {
+				t.Fatalf("burst not drained at mid-run sample: %d packets in flight", baseMid.inFlight)
+			}
+			// Faults apply to both directions, so one degraded NIC link
+			// counts its router-side port and the NIC injection port.
+			wantDegraded := 0
+			if degrade {
+				wantDegraded = 2
+			}
+			if baseMid.degraded != wantDegraded || baseMid.down != 0 {
+				t.Fatalf("health counts = (down %d, degraded %d), want (0, %d)",
+					baseMid.down, baseMid.degraded, wantDegraded)
+			}
+			for _, shards := range []int{2, 4} {
+				mid, fin := measure(t, shards, degrade)
+				if mid != baseMid {
+					t.Errorf("shards=%d mid-run observers diverged:\n  serial:  %+v\n  sharded: %+v",
+						shards, baseMid, mid)
+				}
+				if fin != baseFin {
+					t.Errorf("shards=%d final observers diverged:\n  serial:  %+v\n  sharded: %+v",
+						shards, baseFin, fin)
+				}
+			}
+		})
+	}
+}

@@ -89,6 +89,14 @@ type Experiment struct {
 	// both are nil the simulation carries nil handles and tracing costs
 	// nothing.
 	Telemetry *telemetry.Telemetry
+	// Congestion switches on the fabric congestion observability plane:
+	// per-port/VC accounting, flow-completion-time percentiles, latency
+	// attribution and the anomaly flight recorder. Off by default — a
+	// disabled run allocates none of it and stays byte-identical to
+	// historical behaviour.
+	Congestion bool
+	// CongestionWindow is the weather-map sampling window (0 = 10µs).
+	CongestionWindow sim.Time
 }
 
 // DefaultTelemetry, when set, is attached to every simulation built
@@ -135,6 +143,10 @@ type Sim struct {
 	// call sites are nil-safe so disabled profiling costs nothing).
 	perf *perf.Profiler
 
+	// cong is the congestion sampling state (congestion.go; nil when the
+	// observability plane is off).
+	cong *congState
+
 	// Checkpoint support (checkpoint.go): configLog records every
 	// workload/fault installation in call order, making the run's full
 	// configuration digestible; injectors and sources retain the handles
@@ -176,6 +188,15 @@ func newBuilder(exp Experiment) *builder {
 	if exp.Shards == 0 {
 		exp.Shards = DefaultShards
 	}
+	if !exp.Congestion && DefaultCongestion {
+		exp.Congestion = true
+	}
+	if exp.Congestion && exp.CongestionWindow <= 0 {
+		exp.CongestionWindow = DefaultCongestionWindow
+		if exp.CongestionWindow <= 0 {
+			exp.CongestionWindow = defaultCongestionWindow
+		}
+	}
 	return &builder{exp: exp}
 }
 
@@ -184,6 +205,9 @@ func (b *builder) resolvePolicy() error {
 	b.netCfg = network.DefaultConfig()
 	if b.exp.Network != nil {
 		b.netCfg = *b.exp.Network
+	}
+	if b.exp.Congestion {
+		b.netCfg.Congestion = true
 	}
 	if b.exp.Policy.IsDRBFamily() {
 		// DRB adaptivity lives at the sources; routers follow the
@@ -278,6 +302,11 @@ func (b *builder) build() (*Sim, error) {
 		s.Net = net
 		s.Collector = col
 	}
+	if b.exp.Congestion {
+		// Before controller installation: controllers resolve their flight
+		// recorder handles from the network at wiring time.
+		s.enableCongestion()
+	}
 	if b.useDRB {
 		s.Controllers = core.Install(s.Net, b.drbCfg, b.exp.Seed+0xd4b)
 	}
@@ -286,6 +315,7 @@ func (b *builder) build() (*Sim, error) {
 	}
 	s.live = DefaultLive
 	s.AttachStatus(DefaultStatus, DefaultStatusEvery)
+	s.attachCongestion(DefaultStatus)
 	s.AttachPerf(DefaultPerf)
 	return s, nil
 }
@@ -351,6 +381,56 @@ func (s *Sim) registerStandardMetrics(r *telemetry.Registry) {
 	r.Gauge("net.predictive_acks_sent", net.PredictiveAcksSent)
 	r.Gauge("net.predictive_acks_dropped", net.PredictiveAcksDropped)
 	r.Gauge("net.detoured_acks", net.DetouredAcks)
+	if net.CongestionEnabled() {
+		// cong.* gauges evaluate the fabric weather map at snapshot time —
+		// registry snapshots happen only at quiescent points (sampler
+		// events / barriers), so the O(ports) walks are race-free and off
+		// the hot path.
+		for c := 0; c < network.NumLinkClasses; c++ {
+			c := c
+			name := network.LinkClassNames[c]
+			r.Gauge("cong."+name+".busy_ns", func() int64 { return s.Net.CongSnapshotAt(s.Now()).Classes[c].BusyNs })
+			r.Gauge("cong."+name+".stall_ns", func() int64 { return s.Net.CongSnapshotAt(s.Now()).Classes[c].StallNs })
+			r.Gauge("cong."+name+".queued_bytes", func() int64 { return s.Net.CongSnapshotAt(s.Now()).Classes[c].QueuedBytes })
+		}
+		r.Gauge("cong.ack_busy_ns", func() int64 { return s.Net.CongSnapshotAt(s.Now()).AckBusyNs })
+		r.Gauge("cong.flight_events", func() int64 {
+			var t int64
+			for _, rec := range net.FlightRecorders() {
+				t += rec.Events()
+			}
+			return t
+		})
+		r.Gauge("cong.attrib_pkts", s.attribGauge(func(a *metrics.Attribution) int64 { return a.Pkts }))
+		r.Gauge("cong.attrib_queue_ns", s.attribGauge(func(a *metrics.Attribution) int64 { return a.QueueNs }))
+		r.Gauge("cong.attrib_ser_ns", s.attribGauge(func(a *metrics.Attribution) int64 { return a.SerNs }))
+		r.Gauge("cong.attrib_detour_pkts", s.attribGauge(func(a *metrics.Attribution) int64 { return a.DetourPkts }))
+		for i := 0; i < metrics.NumFlowClasses; i++ {
+			i := i
+			name := metrics.FlowClassNames[i]
+			r.Gauge("fct."+name+".count", func() int64 {
+				var t int64
+				for _, c := range net.ShardCollectors() {
+					if c != nil && c.FCT != nil {
+						t += c.FCT.Classes[i].Count
+					}
+				}
+				return t
+			})
+			r.Histogram("fct."+name+"_ns", s.histSnapshotFn(func(c *metrics.Collector) *metrics.Histogram {
+				if c.FCT == nil {
+					return nil
+				}
+				return c.FCT.Classes[i].FCT
+			}))
+			r.Histogram("fct."+name+"_slowdown_milli", s.histSnapshotFn(func(c *metrics.Collector) *metrics.Histogram {
+				if c.FCT == nil {
+					return nil
+				}
+				return c.FCT.Classes[i].Slowdown
+			}))
+		}
+	}
 	if s.Controllers != nil {
 		ctls := s.Controllers
 		r.Gauge("drb.soldb_size", func() int64 {
@@ -622,6 +702,18 @@ func (s *Sim) InstallHeavyTail(spec HeavyTailSpec) error {
 	}
 	if spec.LoadMbps <= 0 {
 		return fmt.Errorf("prdrb: heavy-tail spec needs a positive load")
+	}
+	if s.Net.CongestionEnabled() {
+		// Flow classes track the installed distribution: mice end at its
+		// median, elephants start at its 90th percentile. Keep elephants
+		// strictly above mice for truncated/narrow CDFs.
+		mice := cdf.Quantile(0.5)
+		elephant := cdf.Quantile(0.9)
+		if elephant <= mice {
+			elephant = mice + 1
+		}
+		s.setFCTThresholds(mice, elephant)
+		s.logConfig("fct-thresholds mice=%d elephant=%d", mice, elephant)
 	}
 	src := traffic.InstallHeavyTail(s.Net, traffic.HeavyTail{
 		Pattern:  p,

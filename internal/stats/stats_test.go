@@ -42,6 +42,38 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+func TestTCrit95(t *testing.T) {
+	cases := []struct {
+		dof  int
+		want float64
+	}{
+		{0, 0}, {1, 12.706}, {2, 4.303}, {4, 2.776}, {9, 2.262},
+		{10, 2.228}, {11, 1.96}, {1000, 1.96},
+	}
+	for _, c := range cases {
+		if got := TCrit95(c.dof); got != c.want {
+			t.Fatalf("TCrit95(%d) = %v, want %v", c.dof, got, c.want)
+		}
+	}
+	// Critical values must shrink monotonically toward the normal limit.
+	for dof := 2; dof <= 11; dof++ {
+		if TCrit95(dof) >= TCrit95(dof-1) {
+			t.Fatalf("TCrit95 not decreasing at dof=%d", dof)
+		}
+	}
+}
+
+// The Student-t interval widens small samples relative to the old normal
+// approximation: at n=2 the half-interval is t_1/1.96 ≈ 6.5x wider.
+func TestSummarizeUsesStudentT(t *testing.T) {
+	s := Summarize([]float64{10, 20})
+	sd := math.Sqrt(50.0) // sample stddev of {10,20}
+	want := 12.706 * sd / math.Sqrt(2)
+	if math.Abs(s.CI95-want) > 1e-9 {
+		t.Fatalf("CI95 = %v, want %v", s.CI95, want)
+	}
+}
+
 func TestMultiSeed(t *testing.T) {
 	s := MultiSeed(Seeds(5, 1), func(seed uint64) float64 {
 		return float64(seed % 100)

@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Flight recorder: a bounded ring of recent cold-path control/packet
+// events per router, kept cheap enough to leave on for 4096-node runs.
+// Unlike the tracer — which samples packets and streams everything — the
+// recorder retains only the last few events at every router and emits
+// nothing unless an anomaly trigger fires (saturation onset, drop burst,
+// credit-stall overrun; see the runner's congestion sampler), at which
+// point the rings are snapshot into a dump for post-run JSONL export.
+//
+// Events are fixed-size values written into preallocated rings (the ring
+// buffer itself is allocated lazily, once per router, on that router's
+// first event), so recording never allocates in steady state. A nil
+// *FlightRecorder no-ops, mirroring the Tracer.
+
+// Flight event kinds. Values are stable report strings.
+const (
+	FlightDrop        = "drop"
+	FlightStall       = "stall"
+	FlightLinkDown    = "link_down"
+	FlightLinkUp      = "link_up"
+	FlightLinkDegrade = "link_degrade"
+	FlightUnreachable = "unreachable"
+	FlightPredAck     = "pred_ack"
+	FlightPathOpen    = "metapath_open"
+	FlightPathClose   = "metapath_close"
+)
+
+// FlightEvent is one recorded cold-path event. Router is -1 for
+// NIC/injection-side events (those share one catch-all ring).
+type FlightEvent struct {
+	AtNs   int64  `json:"at_ns"`
+	Kind   string `json:"kind"`
+	Router int    `json:"router"`
+	Port   int    `json:"port"`
+	VC     int    `json:"vc"`
+	Pkt    uint64 `json:"pkt,omitempty"`
+	Src    int    `json:"src"`
+	Dst    int    `json:"dst"`
+	// Val carries a kind-specific magnitude (queue wait, degrade factor
+	// in milli-units, contending-flow count, ...).
+	Val int64 `json:"val,omitempty"`
+}
+
+// flightRing is one router's bounded event history.
+type flightRing struct {
+	buf  []FlightEvent
+	next int
+	n    int // lifetime events recorded (may exceed len(buf))
+}
+
+// FlightRecorder holds one ring per router plus a catch-all ring for
+// NIC-side events (index len(rings)-1, addressed as router -1).
+type FlightRecorder struct {
+	rings   []flightRing
+	ringCap int
+	events  int64
+}
+
+// NewFlightRecorder sizes a recorder for `routers` routers with ringCap
+// retained events per router.
+func NewFlightRecorder(routers, ringCap int) *FlightRecorder {
+	if ringCap <= 0 {
+		ringCap = 32
+	}
+	return &FlightRecorder{rings: make([]flightRing, routers+1), ringCap: ringCap}
+}
+
+// Record appends ev to its router's ring, evicting the oldest entry when
+// full. Nil-safe.
+func (f *FlightRecorder) Record(ev FlightEvent) {
+	if f == nil {
+		return
+	}
+	idx := ev.Router
+	if idx < 0 || idx >= len(f.rings)-1 {
+		idx = len(f.rings) - 1
+	}
+	r := &f.rings[idx]
+	if r.buf == nil {
+		r.buf = make([]FlightEvent, 0, f.ringCap)
+	}
+	if len(r.buf) < f.ringCap {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.next] = ev
+	}
+	r.next++
+	if r.next >= f.ringCap {
+		r.next = 0
+	}
+	r.n++
+	f.events++
+}
+
+// Events returns the lifetime event count (including evicted ones).
+func (f *FlightRecorder) Events() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.events
+}
+
+// Snapshot returns every retained event, oldest first within a router,
+// routers in index order, then stably time-sorted — a deterministic
+// flattening of the rings. Nil-safe (returns nil).
+func (f *FlightRecorder) Snapshot() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	var out []FlightEvent
+	for i := range f.rings {
+		r := &f.rings[i]
+		if len(r.buf) == 0 {
+			continue
+		}
+		if r.n > len(r.buf) {
+			// Ring wrapped: oldest entry sits at next.
+			out = append(out, r.buf[r.next:]...)
+			out = append(out, r.buf[:r.next]...)
+		} else {
+			out = append(out, r.buf...)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].AtNs < out[j].AtNs })
+	return out
+}
+
+// Reset clears every ring (dump consumers call it so consecutive dumps
+// hold disjoint histories). Lifetime counts survive. Nil-safe.
+func (f *FlightRecorder) Reset() {
+	if f == nil {
+		return
+	}
+	for i := range f.rings {
+		r := &f.rings[i]
+		r.buf = r.buf[:0]
+		r.next = 0
+	}
+}
+
+// FlightDump is one triggered anomaly snapshot: the trigger that fired
+// and the merged ring contents at that moment.
+type FlightDump struct {
+	AtNs    int64         `json:"at_ns"`
+	Trigger string        `json:"trigger"`
+	Detail  string        `json:"detail,omitempty"`
+	Events  []FlightEvent `json:"events"`
+}
+
+// WriteFlightDumps writes dumps as JSONL, one dump per line — the
+// post-run export format `prdrbtrace congestion -flight` reads.
+func WriteFlightDumps(w io.Writer, dumps []FlightDump) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range dumps {
+		if err := enc.Encode(&dumps[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -12,11 +12,12 @@ import (
 
 // StatusServer serves the live observability endpoints off a Board:
 //
-//	/metrics  Prometheus text exposition of the last registry snapshot
-//	/status   JSON Status snapshot (latest published)
-//	/fleet    JSON FleetStatus snapshot (campaign runs only)
-//	/events   SSE stream of Status snapshots as they are published
-//	/debug/   net/http/pprof (DefaultServeMux, registered by profile.go)
+//	/metrics     Prometheus text exposition of the last registry snapshot
+//	/status      JSON Status snapshot (latest published)
+//	/fleet       JSON FleetStatus snapshot (campaign runs only)
+//	/congestion  JSON CongestionStatus snapshot (congestion sampling only)
+//	/events      SSE stream of Status snapshots as they are published
+//	/debug/      net/http/pprof (DefaultServeMux, registered by profile.go)
 //
 // Handlers only read the Board and LiveStats — never live simulation
 // state — so serving is race-free by construction.
@@ -68,6 +69,7 @@ func (s *StatusServer) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/status", s.handleStatus)
 	mux.HandleFunc("/fleet", s.handleFleet)
+	mux.HandleFunc("/congestion", s.handleCongestion)
 	mux.HandleFunc("/events", s.handleEvents)
 	// pprof registers on the DefaultServeMux at package init.
 	mux.Handle("/debug/", http.DefaultServeMux)

@@ -164,6 +164,10 @@ type Board struct {
 	fleetSeq  uint64
 	fleet     FleetStatus
 	haveFleet bool
+
+	congSeq  uint64
+	cong     CongestionStatus
+	haveCong bool
 }
 
 // NewBoard returns an empty board.

@@ -119,6 +119,24 @@ func (c *FlowSizeCDF) Sample(rng *sim.RNG) int {
 	return int(c.Bytes[len(c.Bytes)-1])
 }
 
+// Quantile returns the flow size at cumulative probability p under the
+// same log-linear interpolation Sample uses — the inverse CDF evaluated
+// deterministically. Used to derive flow-class thresholds (mice/elephant
+// cutoffs) from the installed distribution.
+func (c *FlowSizeCDF) Quantile(p float64) int64 {
+	if p <= c.Cum[0] {
+		return int64(c.Bytes[0])
+	}
+	for i := 1; i < len(c.Cum); i++ {
+		if p <= c.Cum[i] {
+			frac := (p - c.Cum[i-1]) / (c.Cum[i] - c.Cum[i-1])
+			lo, hi := math.Log(c.Bytes[i-1]), math.Log(c.Bytes[i])
+			return int64(math.Exp(lo + frac*(hi-lo)))
+		}
+	}
+	return int64(c.Bytes[len(c.Bytes)-1])
+}
+
 // Mean returns the distribution mean under the same log-linear
 // interpolation Sample uses (numerically, per segment), for converting a
 // target offered load into a flow arrival rate.

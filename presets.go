@@ -96,6 +96,14 @@ func Seeds(n int, base uint64) []uint64 { return stats.Seeds(n, base) }
 // baseline.
 func GainPct(baseline, measured float64) float64 { return stats.GainPct(baseline, measured) }
 
+// Summary is a multi-seed measurement: mean plus a 95% confidence
+// half-interval (Student-t on n-1 dof, matching the small seed counts
+// experiments actually run with).
+type Summary = stats.Summary
+
+// Summarize folds raw per-seed values into a Summary.
+func Summarize(values []float64) Summary { return stats.Summarize(values) }
+
 // MultiSeedLatency runs build+workload once per seed and returns the mean
 // and 95% CI of the global average latency in microseconds. The run
 // function receives a fresh Sim per seed, installs its workload, executes,

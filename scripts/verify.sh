@@ -170,6 +170,40 @@ grep -q '^perf trace: .* ok' "$teldir/perf-a.det" || {
 }
 echo "    -perf run byte-identical to profiler-off; det counters stable; trace ok"
 
+echo "==> congestion observability smoke (weather map, FCT, flight recorder)"
+# A heavy-tailed run with the congestion plane on: the artifact must be
+# byte-identical across two identical-seed runs, render through
+# 'prdrbtrace congestion' with its CSV side-products, and any anomaly
+# flight-recorder dumps must validate. The disabled hot path is gated
+# above: TestHotPathZeroAlloc fails if a default build attaches any
+# congestion state, and the bench smoke covers its throughput.
+"$teldir/prdrbsim" -topology ft-4-3 -policy pr-drb -heavytail websearch \
+    -ht-maxflow 65536 -rate 300 -duration 300us -shards 2 \
+    -congestion-out "$teldir/cong-a.json" -flight "$teldir/flight-a.jsonl" \
+    >/dev/null 2>&1
+"$teldir/prdrbsim" -topology ft-4-3 -policy pr-drb -heavytail websearch \
+    -ht-maxflow 65536 -rate 300 -duration 300us -shards 2 \
+    -congestion-out "$teldir/cong-b.json" \
+    >/dev/null 2>&1
+cmp -s "$teldir/cong-a.json" "$teldir/cong-b.json" || {
+    echo "verify: congestion artifacts differ across identical-seed runs" >&2
+    exit 1
+}
+"$teldir/prdrbtrace" congestion -artifact "$teldir/cong-a.json" \
+    -csv-dir "$teldir/cong-csv" >"$teldir/cong-report.txt"
+grep -q 'latency attribution' "$teldir/cong-report.txt" || {
+    echo "verify: congestion report missing latency attribution" >&2
+    exit 1
+}
+grep -q '^end_us,' "$teldir/cong-csv/class_timeline.csv" || {
+    echo "verify: congestion report wrote no class timeline CSV" >&2
+    exit 1
+}
+if [ -s "$teldir/flight-a.jsonl" ]; then
+    "$teldir/prdrbtrace" flight-validate "$teldir/flight-a.jsonl"
+fi
+echo "    congestion artifact deterministic; report + CSVs rendered"
+
 echo "==> checkpoint/resume smoke (three presets + campaign kill/restart)"
 # The same smoke the resume-equivalence CI job runs: serial, faulted and
 # sharded runs checkpointed at mid-run and resumed must print summaries
